@@ -1,0 +1,88 @@
+// Command irrbench regenerates the paper's evaluation artifacts (Lin &
+// Padua, PLDI 2000): Table 2, Table 3 and the Fig. 16 speedup curves, from
+// the bundled benchmark kernels on the simulated parallel machine.
+//
+// Usage:
+//
+//	irrbench [-size small|default|large] [-procs 1,2,4,8,16,32] [-table2] [-table3] [-fig16]
+//
+// With no selection flags, everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/kernels"
+)
+
+func main() {
+	size := flag.String("size", "default", "kernel size: small, default or large")
+	procsFlag := flag.String("procs", "1,2,4,8,16,32", "processor counts for fig16")
+	t2 := flag.Bool("table2", false, "print Table 2 only")
+	t3 := flag.Bool("table3", false, "print Table 3 only")
+	f16 := flag.Bool("fig16", false, "print Fig. 16 only")
+	flag.Parse()
+
+	var sz kernels.Size
+	switch *size {
+	case "small":
+		sz = kernels.Small
+	case "default", "":
+		sz = kernels.Default
+	case "large":
+		sz = kernels.Large
+	default:
+		fmt.Fprintf(os.Stderr, "irrbench: unknown size %q\n", *size)
+		os.Exit(2)
+	}
+
+	var procs []int
+	for _, f := range strings.Split(*procsFlag, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "irrbench: bad processor count %q\n", f)
+			os.Exit(2)
+		}
+		procs = append(procs, n)
+	}
+
+	all := !*t2 && !*t3 && !*f16
+
+	if all || *t2 {
+		rows, err := bench.Table2(sz)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(bench.FormatTable2(rows))
+		fmt.Println()
+	}
+	if all || *t3 {
+		rows, err := bench.Table3(sz)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(bench.FormatTable3(rows))
+		fmt.Println()
+	}
+	if all || *f16 {
+		series, err := bench.Fig16(sz, procs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(bench.FormatFig16(series))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "irrbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command irrc is the F-lite parallelizing compiler CLI: it parses a
+// program, runs the Polaris-like pipeline with the irregular-access
+// analyses of Lin & Padua (PLDI 2000), reports which loops parallelize and
+// why, and optionally executes the result on the simulated parallel
+// machine.
+//
+// Usage:
+//
+//	irrc [flags] file.fl
+//	irrc [flags] -kernel trfd
+//
+// Flags:
+//
+//	-mode full|noiaa|baseline   compiler configuration (default full)
+//	-intra                      intraprocedural property analysis only
+//	-dump                       print the transformed program
+//	-run                        execute on the simulated machine
+//	-procs N                    processors for -run (default 1)
+//	-machine origin2000|challenge
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	irregular "repro"
+	"repro/internal/kernels"
+)
+
+func main() {
+	mode := flag.String("mode", "full", "compiler configuration: full, noiaa or baseline")
+	intra := flag.Bool("intra", false, "restrict property analysis to single units")
+	dump := flag.Bool("dump", false, "print the transformed program")
+	run := flag.Bool("run", false, "execute on the simulated machine")
+	procs := flag.Int("procs", 1, "processors for -run")
+	mach := flag.String("machine", "origin2000", "machine profile for -run")
+	kernel := flag.String("kernel", "", "compile a bundled kernel instead of a file")
+	bounds := flag.Bool("bounds", false, "report bounds-check elimination and apply it when running")
+	interchange := flag.Bool("interchange", false, "enable the loop-interchange companion pass")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *kernel != "":
+		k, err := kernels.ByName(*kernel, kernels.Default)
+		if err != nil {
+			fail(err)
+		}
+		src = k.Source
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: irrc [flags] file.fl  (or -kernel name); see -h")
+		os.Exit(2)
+	}
+
+	var m irregular.Mode
+	switch *mode {
+	case "full":
+		m = irregular.Full
+	case "noiaa":
+		m = irregular.NoIAA
+	case "baseline":
+		m = irregular.Baseline
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	res, err := irregular.Compile(src, irregular.Options{
+		Mode:            m,
+		Intraprocedural: *intra,
+		Interchange:     *interchange,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(res.Summary())
+	if *interchange && res.Interchanged > 0 {
+		fmt.Printf("loop nests interchanged: %d\n", res.Interchanged)
+	}
+
+	if *dump {
+		fmt.Println()
+		fmt.Print(res.Format())
+	}
+	if *bounds {
+		fmt.Println()
+		fmt.Print(res.BoundsChecks().Summary())
+	}
+	if *run {
+		out, err := res.Run(irregular.RunOptions{
+			Processors:            *procs,
+			Profile:               irregular.MachineProfile(*mach),
+			Out:                   os.Stdout,
+			EliminateBoundsChecks: *bounds,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nsimulated time: %d cycles on %s x%d (%d parallel regions)\n",
+			out.Time, *mach, *procs, out.ParallelRegions)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "irrc:", err)
+	os.Exit(1)
+}

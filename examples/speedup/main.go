@@ -1,0 +1,59 @@
+// Speedup example: run one bundled benchmark kernel across processor
+// counts and compiler configurations, printing a small Fig. 16-style
+// table. Pass a kernel name (trfd, dyfesm, bdna, p3m, tree) as the first
+// argument; the default is tree.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	irregular "repro"
+)
+
+func main() {
+	name := "tree"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	src, err := irregular.KernelSource(name)
+	if err != nil {
+		log.Fatalf("%v (available: %v)", err, irregular.Kernels())
+	}
+
+	procs := []int{1, 2, 4, 8, 16, 32}
+	fmt.Printf("%s on the simulated Origin 2000\n", name)
+	fmt.Printf("%-28s", "configuration")
+	for _, p := range procs {
+		fmt.Printf(" %7s", fmt.Sprintf("P=%d", p))
+	}
+	fmt.Println()
+
+	for _, cfg := range []struct {
+		label string
+		mode  irregular.Mode
+	}{
+		{"Polaris + irregular analysis", irregular.Full},
+		{"Polaris (traditional)", irregular.NoIAA},
+		{"affine-only baseline", irregular.Baseline},
+	} {
+		res, err := irregular.Compile(src, irregular.Options{Mode: cfg.mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := res.Run(irregular.RunOptions{Processors: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s", cfg.label)
+		for _, p := range procs {
+			out, err := res.Run(irregular.RunOptions{Processors: p})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %7.2f", float64(base.Time)/float64(out.Time))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/parallel"
+)
+
+func TestTable2Invariants(t *testing.T) {
+	rows, err := Table2(kernels.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.LoC == 0 || r.CompileTime <= 0 || r.SeqCycles == 0 {
+			t.Errorf("%s: incomplete row %+v", r.Program, r)
+		}
+		if r.PropertyTime > r.CompileTime {
+			t.Errorf("%s: property time exceeds compile time", r.Program)
+		}
+		if r.OverheadPct < 0 || r.OverheadPct > 100 {
+			t.Errorf("%s: overhead %f out of range", r.Program, r.OverheadPct)
+		}
+	}
+	text := FormatTable2(rows)
+	for _, k := range kernels.All(kernels.Small) {
+		if !strings.Contains(text, k.Name) {
+			t.Errorf("table 2 missing %s:\n%s", k.Name, text)
+		}
+	}
+}
+
+func TestTable3AllTargetsNewlyParallel(t *testing.T) {
+	rows, err := Table3(kernels.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stars := map[string]bool{}
+	for _, r := range rows {
+		if r.NewlyParallel {
+			stars[r.Program] = true
+		}
+		if r.PctSeq < 0 || r.PctSeq > 100 {
+			t.Errorf("%s/%s: pct %f", r.Program, r.Loop, r.PctSeq)
+		}
+	}
+	for _, name := range []string{"trfd", "dyfesm", "bdna", "p3m", "tree"} {
+		if !stars[name] {
+			t.Errorf("%s has no newly-parallel loop:\n%s", name, FormatTable3(rows))
+		}
+	}
+}
+
+func TestFig16Shapes(t *testing.T) {
+	series, err := Fig16(kernels.Small, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every kernel must have all three configurations plus the DYFESM
+	// challenge series.
+	count := map[string]int{}
+	var challenge *Fig16Series
+	for i := range series {
+		s := &series[i]
+		count[s.Program]++
+		if s.Profile == "challenge" {
+			challenge = s
+		}
+		if len(s.Speedups) != len(s.Procs) {
+			t.Errorf("%s/%v: %d speedups for %d procs", s.Program, s.Mode, len(s.Speedups), len(s.Procs))
+		}
+		// Speedup at P=1 must be 1.0 by construction.
+		if s.Procs[0] == 1 && (s.Speedups[0] < 0.999 || s.Speedups[0] > 1.001) {
+			t.Errorf("%s/%v: P=1 speedup %f", s.Program, s.Mode, s.Speedups[0])
+		}
+	}
+	for name, c := range count {
+		want := 3
+		if name == "dyfesm" {
+			want = 4 // + challenge profile
+		}
+		if c != want {
+			t.Errorf("%s: %d series, want %d", name, c, want)
+		}
+	}
+	if challenge == nil {
+		t.Fatal("missing DYFESM challenge series (Fig. 16(f))")
+	}
+	text := FormatFig16(series)
+	if !strings.Contains(text, "challenge") {
+		t.Errorf("rendering misses challenge profile:\n%s", text)
+	}
+}
+
+func TestFig16FullBeatsBaselineOnTree(t *testing.T) {
+	series, err := Fig16(kernels.Default, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full, base float64
+	for _, s := range series {
+		if s.Program != "tree" || s.Profile != "origin2000" {
+			continue
+		}
+		switch s.Mode {
+		case parallel.Full:
+			full = s.Speedups[0]
+		case parallel.Baseline:
+			base = s.Speedups[0]
+		}
+	}
+	if full < 3 {
+		t.Errorf("tree full-mode speedup at P=8: %f", full)
+	}
+	if base > 1.2 {
+		t.Errorf("tree baseline speedup at P=8 should be flat: %f", base)
+	}
+}

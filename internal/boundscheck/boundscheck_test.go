@@ -1,0 +1,199 @@
+package boundscheck
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/core/property"
+	"repro/internal/dataflow"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/machine"
+	"repro/internal/sem"
+)
+
+func build(t *testing.T, src string, withProp bool) (*sem.Info, *Analyzer) {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Check(prog)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	var prop *property.Analysis
+	if withProp {
+		mod := dataflow.ComputeMod(info)
+		prop = property.New(info, cfg.BuildHCG(prog), mod)
+	}
+	return info, New(info, prop)
+}
+
+func TestAffineProven(t *testing.T) {
+	src := `
+program p
+  param n = 50
+  real a(n), b(n)
+  integer i
+  do i = 1, n
+    a(i) = b(n + 1 - i)
+  end do
+  a(25) = 1.0
+end
+`
+	_, an := build(t, src, false)
+	res := an.Analyze()
+	if res.Total != 3 {
+		t.Fatalf("total = %d, want 3", res.Total)
+	}
+	if res.Proven != 3 {
+		t.Errorf("proven = %d/%d, want all\n%s", res.Proven, res.Total, res.Summary())
+	}
+}
+
+func TestOverflowNotProven(t *testing.T) {
+	src := `
+program p
+  param n = 50
+  real a(n)
+  integer i
+  do i = 1, n
+    a(i + 1) = 0.0
+  end do
+end
+`
+	_, an := build(t, src, false)
+	res := an.Analyze()
+	if res.Proven != 0 {
+		t.Errorf("a(i+1) can reach n+1; proven = %d", res.Proven)
+	}
+}
+
+func TestUnknownScalarNotProven(t *testing.T) {
+	src := `
+program p
+  param n = 50
+  real a(n)
+  integer k
+  a(k) = 0.0
+end
+`
+	_, an := build(t, src, false)
+	res := an.Analyze()
+	if res.Proven != 0 {
+		t.Errorf("unbounded scalar subscript proven? %d", res.Proven)
+	}
+}
+
+func TestIndirectProvenWithProperty(t *testing.T) {
+	src := `
+program p
+  param n = 64
+  integer ind(n)
+  real x(n), y(n)
+  integer i, j, q
+  q = 0
+  do i = 1, n
+    if (x(i) > 0.0) then
+      q = q + 1
+      ind(q) = i
+    end if
+  end do
+  do j = 1, q
+    y(ind(j)) = x(ind(j))
+  end do
+end
+`
+	_, with := build(t, src, true)
+	resWith := with.Analyze()
+	_, without := build(t, src, false)
+	resWithout := without.Analyze()
+	if resWith.Proven <= resWithout.Proven {
+		t.Errorf("property analysis should prove more: %d vs %d",
+			resWith.Proven, resWithout.Proven)
+	}
+	// The indirect accesses y(ind(j)), x(ind(j)) must be among the newly
+	// proven ones.
+	if resWith.PerArray["y"] == 0 {
+		t.Errorf("y(ind(j)) not proven: %s", resWith.Summary())
+	}
+}
+
+func TestNegativeLowerBound(t *testing.T) {
+	src := `
+program p
+  real a(0:9)
+  integer i
+  do i = 0, 9
+    a(i) = 1.0
+  end do
+  do i = 1, 10
+    a(i - 1) = 2.0
+  end do
+end
+`
+	_, an := build(t, src, false)
+	res := an.Analyze()
+	if res.Proven != res.Total {
+		t.Errorf("custom lower bounds: proven %d/%d", res.Proven, res.Total)
+	}
+}
+
+func TestEliminationSpeedsUpExecution(t *testing.T) {
+	src := `
+program p
+  param n = 200
+  real a(n), b(n)
+  integer i, r
+  do r = 1, 20
+    do i = 1, n
+      a(i) = b(i) * 0.5 + 1.0
+    end do
+  end do
+end
+`
+	info, an := build(t, src, false)
+	res := an.Analyze()
+	if res.Proven == 0 {
+		t.Fatal("nothing proven")
+	}
+
+	run := func(safe map[*lang.ArrayRef]bool) uint64 {
+		in := interp.New(info, interp.Options{
+			Machine:  machine.New(machine.Origin2000, 1),
+			SafeRefs: safe,
+		})
+		if err := in.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return in.Machine().Time()
+	}
+	checked := run(nil)
+	unchecked := run(res.Safe)
+	if unchecked >= checked {
+		t.Errorf("elimination should reduce simulated time: %d vs %d", unchecked, checked)
+	}
+}
+
+func TestWhileModifiedSubscriptNotProven(t *testing.T) {
+	src := `
+program p
+  param n = 50
+  real a(n)
+  integer w
+  w = n
+  do while (w >= 1)
+    a(w) = 1.0
+    w = w - 1
+  end do
+end
+`
+	_, an := build(t, src, false)
+	res := an.Analyze()
+	// w is only known to start at n; inside the while it has no derived
+	// range, so the access must stay checked.
+	if res.Proven != 0 {
+		t.Errorf("while-modified subscript proven? %d", res.Proven)
+	}
+}

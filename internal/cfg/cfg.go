@@ -1,0 +1,444 @@
+// Package cfg builds control-flow graphs for F-lite program units.
+//
+// Two views are provided:
+//
+//   - Graph: a flat, statement-level CFG with loop back edges intact. This is
+//     what the bounded depth-first searches of the single-indexed access
+//     analysis run on (paper §2). Dominators, back edges and natural loops
+//     are computed on it, so goto-formed loops are first-class.
+//
+//   - HGraph (see hcg.go): the hierarchical control graph of §3.2.1, where
+//     each DO loop and each unit body is a section node with a single entry
+//     and a single exit and back edges are deleted, so every section is a
+//     DAG. The demand-driven array property analysis walks this view.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lang"
+)
+
+// NodeKind classifies CFG nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	NEntry NodeKind = iota
+	NExit
+	NStmt      // simple statement (assign, call, print, continue, goto, ...)
+	NIfCond    // the condition test of an IF (or one ELSEIF arm)
+	NDoHead    // DO loop header (init/test/increment)
+	NWhileHead // DO WHILE header (test)
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case NEntry:
+		return "entry"
+	case NExit:
+		return "exit"
+	case NStmt:
+		return "stmt"
+	case NIfCond:
+		return "if"
+	case NDoHead:
+		return "do"
+	case NWhileHead:
+		return "while"
+	}
+	return fmt.Sprintf("NodeKind(%d)", int(k))
+}
+
+// Node is one CFG node.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	// Stmt is the statement this node represents: the IfStmt for NIfCond,
+	// the DoStmt/WhileStmt for loop headers, the statement itself for
+	// NStmt, nil for entry/exit.
+	Stmt lang.Stmt
+	// CondIndex is, for NIfCond nodes, -1 for the main IF condition or the
+	// index of the ELSEIF arm.
+	CondIndex int
+
+	Succs []*Node
+	Preds []*Node
+}
+
+func (n *Node) String() string {
+	switch n.Kind {
+	case NEntry:
+		return fmt.Sprintf("#%d entry", n.ID)
+	case NExit:
+		return fmt.Sprintf("#%d exit", n.ID)
+	case NIfCond:
+		return fmt.Sprintf("#%d if %s", n.ID, lang.FormatExpr(n.Stmt.(*lang.IfStmt).Cond))
+	case NDoHead:
+		return fmt.Sprintf("#%d do %s", n.ID, n.Stmt.(*lang.DoStmt).Var.Name)
+	case NWhileHead:
+		return fmt.Sprintf("#%d while", n.ID)
+	default:
+		return fmt.Sprintf("#%d %s", n.ID, firstLine(lang.FormatStmt(n.Stmt)))
+	}
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i] + " ..."
+		}
+	}
+	return s
+}
+
+// Graph is the flat CFG of one unit.
+type Graph struct {
+	Unit  *lang.Unit
+	Entry *Node
+	Exit  *Node
+	Nodes []*Node
+
+	// StmtNode maps each statement to its primary node (the header node
+	// for loops and IFs).
+	StmtNode map[lang.Stmt]*Node
+
+	labelNode map[int]*Node
+	gotoFixes []*Node // goto nodes awaiting target edges
+}
+
+func (g *Graph) newNode(kind NodeKind, stmt lang.Stmt) *Node {
+	n := &Node{ID: len(g.Nodes), Kind: kind, Stmt: stmt, CondIndex: -1}
+	g.Nodes = append(g.Nodes, n)
+	if stmt != nil {
+		if _, exists := g.StmtNode[stmt]; !exists {
+			g.StmtNode[stmt] = n
+		}
+	}
+	return n
+}
+
+func addEdge(from, to *Node) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// Build constructs the flat CFG of a unit.
+func Build(u *lang.Unit) *Graph {
+	g := &Graph{
+		Unit:      u,
+		StmtNode:  map[lang.Stmt]*Node{},
+		labelNode: map[int]*Node{},
+	}
+	g.Entry = g.newNode(NEntry, nil)
+	g.Exit = g.newNode(NExit, nil)
+
+	first, outs := g.buildStmts(u.Body)
+	if first == nil {
+		addEdge(g.Entry, g.Exit)
+	} else {
+		addEdge(g.Entry, first)
+		for _, o := range outs {
+			addEdge(o, g.Exit)
+		}
+	}
+	// Wire GOTO edges now that all label targets exist.
+	for _, gn := range g.gotoFixes {
+		target := g.labelNode[gn.Stmt.(*lang.GotoStmt).Target]
+		if target != nil {
+			addEdge(gn, target)
+		} else {
+			// sem rejects unknown labels; be safe anyway.
+			addEdge(gn, g.Exit)
+		}
+	}
+	return g
+}
+
+// buildStmts builds the subgraph for a statement list and returns its first
+// node plus the dangling nodes whose control continues after the list.
+func (g *Graph) buildStmts(stmts []lang.Stmt) (first *Node, outs []*Node) {
+	for _, s := range stmts {
+		f, o := g.buildStmt(s)
+		if f == nil {
+			continue
+		}
+		if first == nil {
+			first = f
+		}
+		for _, p := range outs {
+			addEdge(p, f)
+		}
+		outs = o
+	}
+	return first, outs
+}
+
+func (g *Graph) buildStmt(s lang.Stmt) (first *Node, outs []*Node) {
+	register := func(n *Node) {
+		if l := s.Label(); l != 0 {
+			g.labelNode[l] = n
+		}
+	}
+	switch s := s.(type) {
+	case *lang.AssignStmt, *lang.CallStmt, *lang.PrintStmt, *lang.ContinueStmt:
+		n := g.newNode(NStmt, s)
+		register(n)
+		return n, []*Node{n}
+
+	case *lang.GotoStmt:
+		n := g.newNode(NStmt, s)
+		register(n)
+		g.gotoFixes = append(g.gotoFixes, n)
+		return n, nil // control never falls through
+
+	case *lang.ReturnStmt, *lang.StopStmt:
+		n := g.newNode(NStmt, s)
+		register(n)
+		addEdge(n, g.Exit)
+		return n, nil
+
+	case *lang.IfStmt:
+		cond := g.newNode(NIfCond, s)
+		register(cond)
+		thenFirst, thenOuts := g.buildStmts(s.Then)
+		if thenFirst != nil {
+			addEdge(cond, thenFirst)
+			outs = append(outs, thenOuts...)
+		} else {
+			outs = append(outs, cond)
+		}
+		prevCond := cond
+		for i := range s.Elifs {
+			ec := g.newNode(NIfCond, s)
+			ec.CondIndex = i
+			addEdge(prevCond, ec)
+			bodyFirst, bodyOuts := g.buildStmts(s.Elifs[i].Body)
+			if bodyFirst != nil {
+				addEdge(ec, bodyFirst)
+				outs = append(outs, bodyOuts...)
+			} else {
+				outs = append(outs, ec)
+			}
+			prevCond = ec
+		}
+		if s.Else != nil {
+			elseFirst, elseOuts := g.buildStmts(s.Else)
+			if elseFirst != nil {
+				addEdge(prevCond, elseFirst)
+				outs = append(outs, elseOuts...)
+			} else {
+				outs = append(outs, prevCond)
+			}
+		} else {
+			outs = append(outs, prevCond)
+		}
+		return cond, outs
+
+	case *lang.DoStmt:
+		head := g.newNode(NDoHead, s)
+		register(head)
+		bodyFirst, bodyOuts := g.buildStmts(s.Body)
+		if bodyFirst != nil {
+			addEdge(head, bodyFirst)
+			for _, o := range bodyOuts {
+				addEdge(o, head) // back edge
+			}
+		} else {
+			addEdge(head, head)
+		}
+		return head, []*Node{head}
+
+	case *lang.WhileStmt:
+		head := g.newNode(NWhileHead, s)
+		register(head)
+		bodyFirst, bodyOuts := g.buildStmts(s.Body)
+		if bodyFirst != nil {
+			addEdge(head, bodyFirst)
+			for _, o := range bodyOuts {
+				addEdge(o, head)
+			}
+		} else {
+			addEdge(head, head)
+		}
+		return head, []*Node{head}
+	}
+	panic(fmt.Sprintf("cfg: unknown statement %T", s))
+}
+
+// ---------------------------------------------------------------------------
+// Dominators, back edges, natural loops
+
+// Dominators computes the immediate dominator of every reachable node using
+// the iterative Cooper–Harvey–Kennedy algorithm. The entry node dominates
+// itself.
+func (g *Graph) Dominators() map[*Node]*Node {
+	order := g.ReversePostorder()
+	index := make(map[*Node]int, len(order))
+	for i, n := range order {
+		index[n] = i
+	}
+	idom := map[*Node]*Node{g.Entry: g.Entry}
+	intersect := func(a, b *Node) *Node {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, n := range order {
+			if n == g.Entry {
+				continue
+			}
+			var newIdom *Node
+			for _, p := range n.Preds {
+				if idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[n] != newIdom {
+				idom[n] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b given the idom map.
+func Dominates(idom map[*Node]*Node, a, b *Node) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := idom[b]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// ReversePostorder returns the reachable nodes in reverse postorder of a
+// DFS from entry (a topological order when back edges are ignored).
+func (g *Graph) ReversePostorder() []*Node {
+	var post []*Node
+	seen := map[*Node]bool{}
+	var dfs func(n *Node)
+	dfs = func(n *Node) {
+		seen[n] = true
+		for _, s := range n.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, n)
+	}
+	dfs(g.Entry)
+	// reverse
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Loop is a natural loop discovered from a back edge.
+type Loop struct {
+	Head *Node
+	// Stmt is the AST loop statement when the head corresponds to one
+	// (DoStmt or WhileStmt); nil for goto-formed loops.
+	Stmt lang.Stmt
+	// Nodes is the set of nodes in the loop, including the head.
+	Nodes map[*Node]bool
+}
+
+// Contains reports whether n belongs to the loop.
+func (l *Loop) Contains(n *Node) bool { return l.Nodes[n] }
+
+// Body returns the loop's nodes sorted by ID (deterministic).
+func (l *Loop) Body() []*Node {
+	out := make([]*Node, 0, len(l.Nodes))
+	for n := range l.Nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NaturalLoops finds all natural loops: for every back edge u→h (h
+// dominates u), the loop is h plus all nodes that reach u without passing
+// through h. Loops sharing a head are merged.
+func (g *Graph) NaturalLoops() []*Loop {
+	idom := g.Dominators()
+	byHead := map[*Node]*Loop{}
+	for _, u := range g.Nodes {
+		for _, h := range u.Succs {
+			if !Dominates(idom, h, u) {
+				continue
+			}
+			l := byHead[h]
+			if l == nil {
+				l = &Loop{Head: h, Nodes: map[*Node]bool{h: true}}
+				if h.Kind == NDoHead || h.Kind == NWhileHead {
+					l.Stmt = h.Stmt
+				}
+				byHead[h] = l
+			}
+			// Walk backwards from u collecting the loop body.
+			var stack []*Node
+			if !l.Nodes[u] {
+				l.Nodes[u] = true
+				stack = append(stack, u)
+			}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, p := range n.Preds {
+					if !l.Nodes[p] {
+						l.Nodes[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(byHead))
+	for _, l := range byHead {
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Head.ID < loops[j].Head.ID })
+	return loops
+}
+
+// LoopFor returns the natural loop whose header corresponds to the given
+// AST loop statement, or nil.
+func (g *Graph) LoopFor(stmt lang.Stmt) *Loop {
+	head := g.StmtNode[stmt]
+	if head == nil {
+		return nil
+	}
+	for _, l := range g.NaturalLoops() {
+		if l.Head == head {
+			return l
+		}
+	}
+	return nil
+}

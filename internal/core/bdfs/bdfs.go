@@ -1,0 +1,85 @@
+// Package bdfs implements the bounded depth-first search of Lin & Padua
+// (PLDI 2000), Figure 2. bDFS walks a control-flow graph under two
+// controlling predicates:
+//
+//   - fbound(u): when true, the search does not expand u's successors (u is a
+//     boundary of the search);
+//   - ffailed(v): when true for a successor v about to be entered, the whole
+//     search terminates immediately with a failed result.
+//
+// The single-indexed access analyses (§2.2 consecutively-written arrays,
+// §2.3 array stacks) are built from a handful of bDFS invocations with
+// different predicate pairs.
+package bdfs
+
+import "repro/internal/cfg"
+
+// Result of a bounded depth-first search.
+type Result bool
+
+// Search outcomes.
+const (
+	Failed    Result = false
+	Succeeded Result = true
+)
+
+// Config parameterises one search.
+type Config struct {
+	// Succs returns the successors to explore from a node. Using a
+	// closure here lets callers restrict the walk to a loop's node set
+	// (with a virtual exit for edges leaving the region).
+	Succs func(*cfg.Node) []*cfg.Node
+	// FBound marks search boundaries (successors are not expanded).
+	FBound func(*cfg.Node) bool
+	// FFailed aborts the whole search when true for a node about to be
+	// visited.
+	FFailed func(*cfg.Node) bool
+	// FProc, if non-nil, is invoked on every visited node (the paper's
+	// fproc hook).
+	FProc func(*cfg.Node)
+}
+
+// Run performs the bounded depth-first search from start, following
+// Figure 2 of the paper: the start node itself is processed and bounded but
+// never tested with FFailed (failure applies to nodes *reached* by the
+// search).
+func Run(start *cfg.Node, c Config) Result {
+	visited := map[*cfg.Node]bool{}
+	return run(start, c, visited)
+}
+
+// RunFromSuccessors starts the search at every successor of start instead
+// of start itself, applying FFailed to those successors as the paper's
+// inner loop does. This matches invocations phrased as "any path from
+// statement A to ...".
+func RunFromSuccessors(start *cfg.Node, c Config) Result {
+	visited := map[*cfg.Node]bool{}
+	for _, v := range c.Succs(start) {
+		if c.FFailed(v) {
+			return Failed
+		}
+		if !visited[v] && run(v, c, visited) == Failed {
+			return Failed
+		}
+	}
+	return Succeeded
+}
+
+func run(u *cfg.Node, c Config, visited map[*cfg.Node]bool) Result {
+	visited[u] = true
+	if c.FProc != nil {
+		c.FProc(u)
+	}
+	if c.FBound(u) {
+		return Succeeded
+	}
+	for _, v := range c.Succs(u) {
+		if c.FFailed(v) {
+			return Failed
+		}
+		if !visited[v] && run(v, c, visited) == Failed {
+			return Failed
+		}
+	}
+	return Succeeded
+}

@@ -1,0 +1,135 @@
+package bdfs
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+)
+
+// chain builds a linear CFG n0 -> n1 -> ... -> nk and returns the nodes.
+func chain(k int) []*cfg.Node {
+	nodes := make([]*cfg.Node, k)
+	for i := range nodes {
+		nodes[i] = &cfg.Node{ID: i}
+	}
+	for i := 0; i+1 < k; i++ {
+		nodes[i].Succs = []*cfg.Node{nodes[i+1]}
+	}
+	return nodes
+}
+
+func succs(n *cfg.Node) []*cfg.Node { return n.Succs }
+
+func TestBoundStopsExpansion(t *testing.T) {
+	ns := chain(4)
+	visited := map[int]bool{}
+	res := Run(ns[0], Config{
+		Succs:   succs,
+		FProc:   func(n *cfg.Node) { visited[n.ID] = true },
+		FBound:  func(n *cfg.Node) bool { return n.ID == 1 },
+		FFailed: func(n *cfg.Node) bool { return n.ID == 2 },
+	})
+	if res != Succeeded {
+		t.Error("search should succeed: bound reached before failure")
+	}
+	if !visited[0] || !visited[1] || visited[2] {
+		t.Errorf("visited: %v", visited)
+	}
+}
+
+func TestFailedAbortsSearch(t *testing.T) {
+	ns := chain(4)
+	res := Run(ns[0], Config{
+		Succs:   succs,
+		FBound:  func(n *cfg.Node) bool { return n.ID == 3 },
+		FFailed: func(n *cfg.Node) bool { return n.ID == 2 },
+	})
+	if res != Failed {
+		t.Error("failure node before the bound must fail the search")
+	}
+}
+
+func TestStartNodeNotTestedForFailure(t *testing.T) {
+	ns := chain(2)
+	res := Run(ns[0], Config{
+		Succs:   succs,
+		FBound:  func(n *cfg.Node) bool { return n.ID == 1 },
+		FFailed: func(n *cfg.Node) bool { return n.ID == 0 },
+	})
+	if res != Succeeded {
+		t.Error("the start node must not trigger FFailed")
+	}
+}
+
+func TestRunFromSuccessorsTestsImmediateSuccessor(t *testing.T) {
+	ns := chain(2)
+	res := RunFromSuccessors(ns[0], Config{
+		Succs:   succs,
+		FBound:  func(n *cfg.Node) bool { return false },
+		FFailed: func(n *cfg.Node) bool { return n.ID == 1 },
+	})
+	if res != Failed {
+		t.Error("a failing immediate successor must fail the search")
+	}
+}
+
+func TestCycleTermination(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 with no bound and no failure: must terminate and
+	// succeed via the visited set.
+	ns := chain(3)
+	ns[2].Succs = []*cfg.Node{ns[0]}
+	res := Run(ns[0], Config{
+		Succs:   succs,
+		FBound:  func(n *cfg.Node) bool { return false },
+		FFailed: func(n *cfg.Node) bool { return false },
+	})
+	if res != Succeeded {
+		t.Error("cyclic graph without failures should succeed")
+	}
+}
+
+func TestBranchingAllPathsChecked(t *testing.T) {
+	// 0 -> {1, 2}; 1 is bound, 2 is failure: the search must fail because
+	// one path hits the failure.
+	n0 := &cfg.Node{ID: 0}
+	n1 := &cfg.Node{ID: 1}
+	n2 := &cfg.Node{ID: 2}
+	n0.Succs = []*cfg.Node{n1, n2}
+	res := Run(n0, Config{
+		Succs:   succs,
+		FBound:  func(n *cfg.Node) bool { return n.ID == 1 },
+		FFailed: func(n *cfg.Node) bool { return n.ID == 2 },
+	})
+	if res != Failed {
+		t.Error("any failing path fails the whole search")
+	}
+}
+
+func TestResultIndependentOfAdjacencyOrder(t *testing.T) {
+	// 0 -> {1, 2}, 1 -> 3, 2 -> 3; bound at 3, failure at 2: the search
+	// must fail regardless of the order successors are listed in.
+	build := func(swap bool) *cfg.Node {
+		n := make([]*cfg.Node, 4)
+		for i := range n {
+			n[i] = &cfg.Node{ID: i}
+		}
+		if swap {
+			n[0].Succs = []*cfg.Node{n[2], n[1]}
+		} else {
+			n[0].Succs = []*cfg.Node{n[1], n[2]}
+		}
+		n[1].Succs = []*cfg.Node{n[3]}
+		n[2].Succs = []*cfg.Node{n[3]}
+		return n[0]
+	}
+	for _, swap := range []bool{false, true} {
+		res := Run(build(swap), Config{
+			Succs:   succs,
+			FBound:  func(n *cfg.Node) bool { return n.ID == 3 },
+			FFailed: func(n *cfg.Node) bool { return n.ID == 2 },
+		})
+		if res != Failed {
+			t.Errorf("swap=%v: expected failure", swap)
+		}
+	}
+}

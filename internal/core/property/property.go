@@ -1,0 +1,447 @@
+// Package property implements the demand-driven interprocedural array
+// property analysis of Lin & Padua (PLDI 2000), §3: a reverse query
+// propagation over the hierarchical control graph that verifies — and in
+// this implementation also derives — properties of index arrays at their
+// use sites: value bounds, injectivity, monotonicity, closed-form values
+// and closed-form distances.
+//
+// A query (st, section) asks whether the elements of an index array in
+// section have the desired property when control reaches the point after
+// st. Queries are propagated in reverse over the HCG (QuerySolver, Fig. 5),
+// with one QueryProp variant per node class (Fig. 7): simple statements,
+// DO headers met from outside (§3.2.5 case 1) and from inside (case 2,
+// Fig. 10), call statements (case 3, Fig. 11) and procedure headers (case
+// 4, query splitting, Fig. 12). Per-statement effects come from a
+// PropertyChecker that pattern-matches definition idioms (§3.2.8), and
+// whole-loop effects may be recognised directly — most importantly
+// index-gathering loops (§4), whose detection reuses the single-indexed
+// access analysis of §2. Kill is a MAY approximation and Gen a MUST
+// approximation throughout (§3.2.3).
+package property
+
+import (
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/dataflow"
+	"repro/internal/expr"
+	"repro/internal/lang"
+	"repro/internal/section"
+	"repro/internal/sem"
+)
+
+// Stats counts analysis work for the compilation-time accounting of
+// Table 2.
+type Stats struct {
+	Queries       int
+	NodesVisited  int
+	LoopSummaries int
+	GatherHits    int
+	PatternHits   int
+	// Elapsed is the wall-clock time spent answering queries.
+	Elapsed time.Duration
+}
+
+// Analysis bundles the program-wide structures the property analysis needs.
+// One Analysis serves many queries; per-query state lives in a session.
+type Analysis struct {
+	Info   *sem.Info
+	HP     *cfg.HProgram
+	Mod    *dataflow.ModInfo
+	Assume expr.Assumptions
+	Stats  Stats
+	// Intraprocedural restricts queries to one unit: a query reaching a
+	// subroutine's entry fails instead of splitting to its call sites.
+	// This models the original phase organization of Fig. 15(a), which
+	// could not support interprocedural property analysis.
+	Intraprocedural bool
+
+	flat  map[*lang.Unit]*cfg.Graph
+	loops map[*lang.Unit]map[lang.Stmt]*cfg.Loop
+}
+
+// New builds an Analysis over a checked program.
+func New(info *sem.Info, hp *cfg.HProgram, mod *dataflow.ModInfo) *Analysis {
+	return &Analysis{
+		Info:   info,
+		HP:     hp,
+		Mod:    mod,
+		Assume: expr.Assumptions{},
+		flat:   map[*lang.Unit]*cfg.Graph{},
+	}
+}
+
+// flatGraph returns (building lazily) the flat CFG of a unit, used by the
+// single-indexed sub-analyses.
+func (a *Analysis) flatGraph(u *lang.Unit) *cfg.Graph {
+	g := a.flat[u]
+	if g == nil {
+		g = cfg.Build(u)
+		a.flat[u] = g
+	}
+	return g
+}
+
+// flatLoopFor returns the natural loop of the flat CFG corresponding to an
+// AST loop statement, caching the loop decomposition per unit.
+func (a *Analysis) flatLoopFor(u *lang.Unit, stmt lang.Stmt) *cfg.Loop {
+	if a.loops == nil {
+		a.loops = map[*lang.Unit]map[lang.Stmt]*cfg.Loop{}
+	}
+	m := a.loops[u]
+	if m == nil {
+		m = map[lang.Stmt]*cfg.Loop{}
+		g := a.flatGraph(u)
+		for _, l := range g.NaturalLoops() {
+			if l.Stmt != nil {
+				m[l.Stmt] = l
+			}
+		}
+		a.loops[u] = m
+	}
+	return m[stmt]
+}
+
+// Verify checks whether the elements of sec have property prop when control
+// reaches the point just after statement at. On success, derive-mode
+// properties carry their derived facts (bounds, value, distance).
+func (a *Analysis) Verify(prop Property, at lang.Stmt, sec *section.Section) bool {
+	start := time.Now()
+	defer func() { a.Stats.Elapsed += time.Since(start) }()
+	a.Stats.Queries++
+	node := a.HP.StmtNode[at]
+	if node == nil {
+		return false
+	}
+	s := &session{
+		a:          a,
+		prop:       prop,
+		modScalars: map[string]bool{},
+		modArrays:  map[string]bool{},
+		effects:    map[*cfg.HNode][2]*section.Set{},
+	}
+	seeds := map[*cfg.HNode]*section.Set{node: section.NewSet(sec)}
+	return s.verifyFrom(node.Graph, seeds)
+}
+
+// session is the per-query state: the property being verified and the
+// variables seen modified along the reverse traversal (used to reject
+// derived facts whose free variables changed between definition and use,
+// the "no redefinition in between" condition of §3).
+type session struct {
+	a    *Analysis
+	prop Property
+	// modScalars / modArrays accumulate everything modified by nodes the
+	// query passed through — i.e. code between the use site and the
+	// definition sites being examined.
+	modScalars map[string]bool
+	modArrays  map[string]bool
+	// effects memoizes nodeEffect per HCG node for this query: property
+	// summaries are deterministic within a session (derive-state updates
+	// are idempotent), and loop summaries are expensive.
+	effects map[*cfg.HNode][2]*section.Set
+}
+
+// verifyFrom propagates the seeded queries backward within graph g and then
+// upward (loop headers, callers) until fully verified or killed.
+func (s *session) verifyFrom(g *cfg.HGraph, seeds map[*cfg.HNode]*section.Set) bool {
+	killed, remain := s.solveGraph(g, seeds)
+	if killed {
+		return false
+	}
+	if remain.Empty() {
+		return true
+	}
+	// The query reached the section entry unresolved.
+	if g.Parent != nil {
+		// Case 2 (Fig. 10): the query leaves a loop body through the
+		// loop header.
+		loopNode := g.Parent
+		killed2, remainOut := s.queryPropLoopHeaderInside(loopNode, remain)
+		if killed2 {
+			return false
+		}
+		if remainOut.Empty() {
+			return true
+		}
+		return s.verifyFrom(loopNode.Graph, seedPreds(loopNode, remainOut))
+	}
+	// Case 4 (Fig. 12): the query reached a procedure header.
+	if g.Unit == s.a.Info.Program.Main {
+		// Elements not generated anywhere in the program: the paper
+		// answers false.
+		return false
+	}
+	if s.a.Intraprocedural {
+		return false
+	}
+	sites := s.a.HP.CallSites(g.Unit.Name)
+	if len(sites) == 0 {
+		return false
+	}
+	for _, site := range sites {
+		if !s.verifyFrom(site.Graph, seedPreds(site, remain)) {
+			return false
+		}
+	}
+	return true
+}
+
+// seedPreds builds a seed map placing the query after every predecessor of
+// n in n's graph.
+func seedPreds(n *cfg.HNode, set *section.Set) map[*cfg.HNode]*section.Set {
+	seeds := map[*cfg.HNode]*section.Set{}
+	for _, p := range n.Preds {
+		seeds[p] = set.Clone()
+	}
+	if len(n.Preds) == 0 {
+		// Defensive: treat as reaching the section entry directly.
+		seeds[n.Graph.Entry] = set.Clone()
+	}
+	return seeds
+}
+
+// solveGraph is QuerySolver (Fig. 5) specialised to one section graph: the
+// worklist is processed in reverse topological order, so every node is
+// handled after all of its successors, and same-node queries are merged
+// with a MAY union (the addU operation). It returns the killed flag and
+// the unresolved remainder at the section entry.
+func (s *session) solveGraph(g *cfg.HGraph, seeds map[*cfg.HNode]*section.Set) (bool, *section.Set) {
+	pending := map[*cfg.HNode]*section.Set{}
+	for n, set := range seeds {
+		pending[n] = set
+	}
+	var atEntry *section.Set
+	for _, n := range g.RTop() {
+		set := pending[n]
+		if set.Empty() {
+			continue
+		}
+		if n == g.Entry {
+			atEntry = set
+			continue
+		}
+		killed, remain := s.queryProp(n, set)
+		if killed {
+			return true, nil
+		}
+		if remain.Empty() {
+			continue // early termination for this strand of the query
+		}
+		for _, p := range n.Preds {
+			if pending[p] == nil {
+				pending[p] = remain.Clone()
+			} else {
+				pending[p].UnionMay(remain, s.a.Assume) // addU
+			}
+		}
+		if len(n.Preds) == 0 && n != g.Entry {
+			// Unreachable node (e.g. after goto rerouting): route to
+			// entry conservatively.
+			if atEntry == nil {
+				atEntry = remain.Clone()
+			} else {
+				atEntry.UnionMay(remain, s.a.Assume)
+			}
+		}
+	}
+	if atEntry == nil {
+		atEntry = section.NewSet()
+	}
+	return false, atEntry
+}
+
+// queryProp is the reverse query propagation framework of Fig. 6,
+// dispatching on the node class (Fig. 7).
+func (s *session) queryProp(n *cfg.HNode, set *section.Set) (bool, *section.Set) {
+	s.a.Stats.NodesVisited++
+	var kill, gen *section.Set
+
+	switch n.Kind {
+	case cfg.HEntry, cfg.HExit, cfg.HIf:
+		// Conditions and markers only read values.
+		kill, gen = section.NewSet(), section.NewSet()
+
+	case cfg.HStmt:
+		kill, gen = s.summarizeSimpleNode(n)
+
+	case cfg.HCall:
+		// Case 3 (Fig. 11): construct a sub-problem whose initial query
+		// node is the exit of the callee.
+		callee := s.a.HP.UnitGraph(n.Stmt.(*lang.CallStmt).Name)
+		if callee == nil {
+			return true, nil
+		}
+		killed, remain := s.solveGraph(callee, map[*cfg.HNode]*section.Set{callee.Exit: set.Clone()})
+		if killed {
+			return true, nil
+		}
+		s.noteMods(s.a.Mod.GlobalsModifiedBy(callee.Unit))
+		return s.checkRemainVars(n, remain)
+
+	case cfg.HDo:
+		// Case 1 (§3.2.5): the query meets the loop from outside.
+		kill, gen = s.summarizeLoop(n)
+
+	case cfg.HWhile:
+		kill, gen = s.summarizeWhile(n)
+
+	default:
+		return true, nil
+	}
+
+	// anykilled: some element of the query may have its property killed.
+	if set.IntersectsWith(kill, s.a.Assume) {
+		return true, nil
+	}
+	s.noteMods(s.nodeMod(n))
+
+	var remain *section.Set
+	if s.prop.Relational() {
+		// Relational properties (injectivity, monotonicity) hold of a
+		// section as a whole: only full containment in a single Gen
+		// section discharges a query section.
+		remain = section.NewSet()
+		for _, qs := range set.Sections() {
+			discharged := false
+			for _, gs := range gen.Sections() {
+				if gs.Contains(qs, s.a.Assume) {
+					discharged = true
+					break
+				}
+			}
+			if !discharged {
+				remain.AddMay(qs, s.a.Assume)
+			}
+		}
+	} else {
+		remain = set.SubtractMay(gen, s.a.Assume)
+	}
+	return s.checkRemainVars(n, remain)
+}
+
+// checkRemainVars kills the query when it must propagate past a node that
+// modifies a variable its section bounds or its property facts depend on.
+func (s *session) checkRemainVars(n *cfg.HNode, remain *section.Set) (bool, *section.Set) {
+	if remain.Empty() {
+		return false, remain
+	}
+	mod := s.nodeMod(n)
+	for _, v := range setVars(remain) {
+		if mod.Scalars[v] {
+			return true, nil
+		}
+	}
+	vars, arrays := s.prop.Mentions()
+	for _, v := range vars {
+		if mod.Scalars[v] {
+			return true, nil
+		}
+	}
+	for _, arr := range arrays {
+		if mod.Arrays[arr] {
+			return true, nil
+		}
+	}
+	return false, remain
+}
+
+// nodeMod returns everything node n may modify (transitively through calls
+// and nested loops).
+func (s *session) nodeMod(n *cfg.HNode) *dataflow.ModSet {
+	switch n.Kind {
+	case cfg.HEntry, cfg.HExit:
+		return dataflow.NewModSet()
+	case cfg.HIf:
+		return dataflow.NewModSet() // the condition only reads
+	default:
+		return s.a.Mod.StmtsMod(n.Graph.Unit, []lang.Stmt{n.Stmt})
+	}
+}
+
+func (s *session) noteMods(m *dataflow.ModSet) {
+	for v := range m.Scalars {
+		s.modScalars[v] = true
+	}
+	for v := range m.Arrays {
+		s.modArrays[v] = true
+	}
+}
+
+// seenModified reports whether any of the named scalars or arrays was
+// modified by code the query already traversed (between definition and
+// use).
+func (s *session) seenModified(vars, arrays []string) bool {
+	for _, v := range vars {
+		if s.modScalars[v] {
+			return true
+		}
+	}
+	for _, arr := range arrays {
+		if s.modArrays[arr] {
+			return true
+		}
+	}
+	return false
+}
+
+// setVars collects the scalar variable names mentioned by the bounds of all
+// sections in a set.
+func setVars(set *section.Set) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(e *expr.Expr) {
+		if e == nil {
+			return
+		}
+		lang.WalkExpr(e.ToAST(), func(x lang.Expr) bool {
+			if id, ok := x.(*lang.Ident); ok && !seen[id.Name] {
+				seen[id.Name] = true
+				out = append(out, id.Name)
+			}
+			return true
+		})
+	}
+	for _, sec := range set.Sections() {
+		for _, d := range sec.Dims {
+			add(d.Lo)
+			add(d.Hi)
+		}
+	}
+	return out
+}
+
+// exprVars collects the scalar variable names mentioned by a symbolic
+// expression (including inside opaque atoms).
+func exprVars(e *expr.Expr) []string {
+	if e == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	lang.WalkExpr(e.ToAST(), func(x lang.Expr) bool {
+		if id, ok := x.(*lang.Ident); ok && !seen[id.Name] {
+			seen[id.Name] = true
+			out = append(out, id.Name)
+		}
+		return true
+	})
+	return out
+}
+
+// exprArrays collects the array names mentioned by a symbolic expression.
+func exprArrays(e *expr.Expr) []string {
+	if e == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	lang.WalkExpr(e.ToAST(), func(x lang.Expr) bool {
+		if ar, ok := x.(*lang.ArrayRef); ok && !ar.Intrinsic && !seen[ar.Name] {
+			seen[ar.Name] = true
+			out = append(out, ar.Name)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,658 @@
+// Package singleindex implements the irregular single-indexed array access
+// analysis of Lin & Padua (PLDI 2000), §2: discovery of arrays subscripted
+// by a single scalar index variable throughout a loop, classification of
+// the index evolution, the consecutively-written test (§2.2) and the array
+// stack test (§2.3, Table 1). All tests are built from bounded depth-first
+// searches (package bdfs) over the flat CFG.
+package singleindex
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/core/bdfs"
+	"repro/internal/dataflow"
+	"repro/internal/expr"
+	"repro/internal/lang"
+	"repro/internal/sem"
+)
+
+// Class is the classification of a statement with respect to one
+// (array, index) pair, following the statement classes of Table 1.
+type Class int
+
+// Statement classes.
+const (
+	ClassNone  Class = iota
+	ClassInc         // p = p + 1
+	ClassDec         // p = p - 1
+	ClassReset       // p = Cbottom (region-invariant value)
+	ClassWrite       // x(p) = ...
+	ClassRead        // ... = x(p) (p used to read the array)
+	ClassOther       // any other definition of p (disqualifying)
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassInc:
+		return "inc"
+	case ClassDec:
+		return "dec"
+	case ClassReset:
+		return "reset"
+	case ClassWrite:
+		return "write"
+	case ClassRead:
+		return "read"
+	case ClassOther:
+		return "other"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Evolution classifies how the index variable changes across the loop
+// (paper §2: monotonic vs. non-monotonic).
+type Evolution int
+
+// Evolution kinds.
+const (
+	EvolUnknown      Evolution = iota
+	EvolMonotonicInc           // only p = p + 1 definitions
+	EvolMonotonicDec           // only p = p - 1 definitions
+	EvolNonMonotonic           // a mix of inc/dec/reset definitions
+)
+
+func (e Evolution) String() string {
+	switch e {
+	case EvolMonotonicInc:
+		return "monotonic-increasing"
+	case EvolMonotonicDec:
+		return "monotonic-decreasing"
+	case EvolNonMonotonic:
+		return "non-monotonic"
+	}
+	return "unknown"
+}
+
+// Access describes one single-indexed array access pattern inside a loop:
+// array x subscripted everywhere by the same scalar p.
+type Access struct {
+	Array string
+	Index string
+	Loop  *cfg.Loop
+	Graph *cfg.Graph
+
+	// Writes and Reads are the loop nodes referencing x(p) on the left-
+	// and right-hand side respectively (a node can appear in both).
+	Writes []*cfg.Node
+	Reads  []*cfg.Node
+	// IndexDefs are the loop nodes that define the index variable,
+	// excluding the analyzed loop's own header.
+	IndexDefs []*cfg.Node
+
+	classes map[*cfg.Node]classInfo
+}
+
+type classInfo struct {
+	inc, dec, reset, write, read, other bool
+	resetVal                            lang.Expr
+}
+
+// Find discovers all single-indexed accesses in the given natural loop: for
+// each array whose every reference inside the loop is subscripted by one
+// and the same scalar variable. Results are sorted by array name.
+func Find(g *cfg.Graph, loop *cfg.Loop, info *sem.Info, mi *dataflow.ModInfo) []*Access {
+	sc := info.Scope(g.Unit)
+	type cand struct {
+		index  string
+		ok     bool
+		reads  []*cfg.Node
+		writes []*cfg.Node
+	}
+	cands := map[string]*cand{}
+
+	note := func(array string, args []lang.Expr, node *cfg.Node, store bool) {
+		c := cands[array]
+		if c == nil {
+			c = &cand{ok: true}
+			cands[array] = c
+		}
+		if !c.ok {
+			return
+		}
+		id, isIdent := singleIdentSubscript(args)
+		if !isIdent {
+			c.ok = false
+			return
+		}
+		if c.index == "" {
+			c.index = id
+		} else if c.index != id {
+			c.ok = false
+			return
+		}
+		if store {
+			c.writes = append(c.writes, node)
+		} else {
+			c.reads = append(c.reads, node)
+		}
+	}
+
+	for _, n := range loop.Body() {
+		f := dataflow.NodeFacts(n)
+		for _, r := range f.ArrayReads {
+			note(r.Array, r.Args, n, false)
+		}
+		for _, w := range f.ArrayWrites {
+			note(w.Array, w.Args, n, true)
+		}
+	}
+
+	var out []*Access
+	for array, c := range cands {
+		if !c.ok || c.index == "" {
+			continue
+		}
+		sym := sc.Lookup(c.index)
+		if sym == nil || sym.Kind != sem.ScalarSym || sym.Type != lang.TInteger {
+			continue
+		}
+		asym := sc.Lookup(array)
+		if asym == nil || asym.Kind != sem.ArraySym || len(asym.Dims) != 1 {
+			continue
+		}
+		a := &Access{
+			Array: array, Index: c.index, Loop: loop, Graph: g,
+			Writes: c.writes, Reads: c.reads,
+		}
+		a.findIndexDefs(info, mi)
+		a.classify(info, mi)
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Array < out[j].Array })
+	return out
+}
+
+// singleIdentSubscript reports whether args is exactly one bare identifier.
+func singleIdentSubscript(args []lang.Expr) (string, bool) {
+	if len(args) != 1 {
+		return "", false
+	}
+	id, ok := args[0].(*lang.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// findIndexDefs collects the loop nodes defining the index variable.
+func (a *Access) findIndexDefs(info *sem.Info, mi *dataflow.ModInfo) {
+	for _, n := range a.Loop.Body() {
+		f := dataflow.NodeFacts(n)
+		defs := false
+		for _, w := range f.ScalarWrites {
+			if w == a.Index {
+				defs = true
+			}
+		}
+		for _, callee := range f.Calls {
+			if cu := info.Program.Unit(callee); cu != nil && mi != nil {
+				if mi.GlobalsModifiedBy(cu).Scalars[a.Index] {
+					defs = true
+				}
+			}
+		}
+		if defs {
+			a.IndexDefs = append(a.IndexDefs, n)
+		}
+	}
+}
+
+// classify computes the Table 1 class information of every loop node with
+// respect to (Array, Index).
+func (a *Access) classify(info *sem.Info, mi *dataflow.ModInfo) {
+	a.classes = map[*cfg.Node]classInfo{}
+	p := a.Index
+	mod := regionMod(a, info, mi)
+
+	for _, n := range a.Loop.Body() {
+		var ci classInfo
+		// Reads of x(p) anywhere in the node's expressions.
+		f := dataflow.NodeFacts(n)
+		for _, r := range f.ArrayReads {
+			if r.Array == a.Array {
+				ci.read = true
+			}
+		}
+		for _, w := range f.ArrayWrites {
+			if w.Array == a.Array {
+				ci.write = true
+			}
+		}
+		// Definitions of p.
+		if as, ok := nodeAssign(n); ok {
+			if id, ok := as.Lhs.(*lang.Ident); ok && id.Name == p {
+				rhs := expr.FromAST(as.Rhs)
+				pPlus1 := expr.Var(p).AddConst(1)
+				pMinus1 := expr.Var(p).AddConst(-1)
+				switch {
+				case rhs.Equal(pPlus1):
+					ci.inc = true
+				case rhs.Equal(pMinus1):
+					ci.dec = true
+				case !rhs.MentionsVar(p) && dataflow.InvariantIn(as.Rhs, loopVarOf(a.Loop), mod):
+					ci.reset = true
+					ci.resetVal = as.Rhs
+				default:
+					ci.other = true
+				}
+			}
+		} else {
+			// Non-assignment definitions of p (loop headers with p as
+			// index, calls modifying p) are "other".
+			for _, w := range f.ScalarWrites {
+				if w == p {
+					ci.other = true
+				}
+			}
+			for _, callee := range f.Calls {
+				if cu := info.Program.Unit(callee); cu != nil && mi != nil {
+					if mi.GlobalsModifiedBy(cu).Scalars[p] {
+						ci.other = true
+					}
+					// Calls that may touch the array itself also
+					// disqualify the pattern.
+					if mi.GlobalsModifiedBy(cu).Arrays[a.Array] {
+						ci.other = true
+					}
+				}
+			}
+		}
+		if ci != (classInfo{}) {
+			a.classes[n] = ci
+		}
+	}
+}
+
+func regionMod(a *Access, info *sem.Info, mi *dataflow.ModInfo) *dataflow.ModSet {
+	mod := dataflow.NewModSet()
+	for _, n := range a.Loop.Body() {
+		f := dataflow.NodeFacts(n)
+		for _, w := range f.ScalarWrites {
+			mod.Scalars[w] = true
+		}
+		for _, w := range f.ArrayWrites {
+			mod.Arrays[w.Array] = true
+		}
+		for _, callee := range f.Calls {
+			if cu := info.Program.Unit(callee); cu != nil && mi != nil {
+				cm := mi.GlobalsModifiedBy(cu)
+				for _, s := range cm.SortedScalars() {
+					mod.Scalars[s] = true
+				}
+				for _, arr := range cm.SortedArrays() {
+					mod.Arrays[arr] = true
+				}
+			}
+		}
+	}
+	return mod
+}
+
+func loopVarOf(l *cfg.Loop) string {
+	if ds, ok := l.Stmt.(*lang.DoStmt); ok {
+		return ds.Var.Name
+	}
+	return ""
+}
+
+func nodeAssign(n *cfg.Node) (*lang.AssignStmt, bool) {
+	if n.Kind != cfg.NStmt {
+		return nil, false
+	}
+	as, ok := n.Stmt.(*lang.AssignStmt)
+	return as, ok
+}
+
+// Class returns the classification of node n. A node may belong to several
+// classes (e.g. x(p) = x(p) + 1 both reads and writes); callers use the
+// boolean accessors below.
+func (a *Access) nodeClass(n *cfg.Node) classInfo { return a.classes[n] }
+
+// ClassifyEvolution determines how the index evolves across the loop.
+func (a *Access) ClassifyEvolution() Evolution {
+	var inc, dec, reset, other bool
+	for _, n := range a.IndexDefs {
+		ci := a.classes[n]
+		inc = inc || ci.inc
+		dec = dec || ci.dec
+		reset = reset || ci.reset
+		other = other || ci.other
+	}
+	switch {
+	case other:
+		return EvolUnknown
+	case inc && !dec && !reset:
+		return EvolMonotonicInc
+	case dec && !inc && !reset:
+		return EvolMonotonicDec
+	case inc || dec || reset:
+		return EvolNonMonotonic
+	default:
+		return EvolUnknown // p never changes: not irregular at all
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Region-restricted successor functions
+
+// exitSentinel is a fresh node standing for "control left the region".
+func exitSentinel() *cfg.Node { return &cfg.Node{ID: -1, Kind: cfg.NExit} }
+
+// loopSuccs returns an adjacency function restricted to the loop's nodes,
+// following the back edge through the header (whole-loop paths, used by the
+// consecutively-written test). Edges leaving the loop go to the sentinel.
+func loopSuccs(l *cfg.Loop, sentinel *cfg.Node) func(*cfg.Node) []*cfg.Node {
+	return func(n *cfg.Node) []*cfg.Node {
+		if n == sentinel {
+			return nil
+		}
+		var out []*cfg.Node
+		exited := false
+		for _, s := range n.Succs {
+			if l.Contains(s) {
+				out = append(out, s)
+			} else {
+				exited = true
+			}
+		}
+		if exited {
+			out = append(out, sentinel)
+		}
+		return out
+	}
+}
+
+// iterationSuccs is like loopSuccs but stops at the loop header: paths stay
+// within a single iteration of the loop (used by the stack test, whose
+// region is the loop body).
+func iterationSuccs(l *cfg.Loop, sentinel *cfg.Node) func(*cfg.Node) []*cfg.Node {
+	return func(n *cfg.Node) []*cfg.Node {
+		if n == sentinel {
+			return nil
+		}
+		var out []*cfg.Node
+		exited := false
+		for _, s := range n.Succs {
+			switch {
+			case s == l.Head:
+				exited = true // end of the iteration
+			case l.Contains(s):
+				out = append(out, s)
+			default:
+				exited = true
+			}
+		}
+		if exited {
+			out = append(out, sentinel)
+		}
+		return out
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Consecutively written (§2.2)
+
+// CWResult reports a successful consecutively-written test.
+type CWResult struct {
+	Access *Access
+	// Increasing is true for the 1-2-3 order (p = p + 1); false for the
+	// decreasing order (p = p - 1).
+	Increasing bool
+	// ReadsCovered is true when every read of x(p) in the loop is
+	// provably preceded, on all paths within the same visit, by a write
+	// of x(p) (no upward-exposed single-indexed reads).
+	ReadsCovered bool
+}
+
+// CheckConsecutivelyWritten runs the §2.2 test: the index must be defined
+// only as p = p + 1 (or only p = p - 1) inside the loop, and from every
+// increment every path must write x(p) before reaching another increment —
+// otherwise there may be holes in the written section. Paths that leave
+// the loop without writing also fail, which makes the final written
+// section [p0+1 : pfinal] exact rather than an over-approximation.
+func CheckConsecutivelyWritten(a *Access) *CWResult {
+	evol := a.ClassifyEvolution()
+	if evol != EvolMonotonicInc && evol != EvolMonotonicDec {
+		return nil
+	}
+	if len(a.Writes) == 0 {
+		return nil
+	}
+	inc := evol == EvolMonotonicInc
+
+	sentinel := exitSentinel()
+	succs := loopSuccs(a.Loop, sentinel)
+	isStep := func(n *cfg.Node) bool {
+		ci := a.classes[n]
+		if inc {
+			return ci.inc
+		}
+		return ci.dec
+	}
+	writesArr := func(n *cfg.Node) bool { return a.classes[n].write }
+
+	for _, def := range a.IndexDefs {
+		if !isStep(def) {
+			continue
+		}
+		res := bdfs.RunFromSuccessors(def, bdfs.Config{
+			Succs:  succs,
+			FBound: writesArr,
+			FFailed: func(n *cfg.Node) bool {
+				return n == sentinel || isStep(n)
+			},
+		})
+		if res == bdfs.Failed {
+			return nil
+		}
+	}
+	return &CWResult{
+		Access:       a,
+		Increasing:   inc,
+		ReadsCovered: a.readsCovered(),
+	}
+}
+
+// readsCovered checks, with backward bounded searches, that every read of
+// x(p) is preceded by a write of x(p) on all paths since the last change of
+// p (within the loop region). It mirrors the forward bDFS but walks
+// predecessor edges.
+func (a *Access) readsCovered() bool {
+	if len(a.Reads) == 0 {
+		return true
+	}
+	inLoop := func(n *cfg.Node) bool { return a.Loop.Contains(n) }
+	sentinel := exitSentinel()
+	preds := func(n *cfg.Node) []*cfg.Node {
+		if n == sentinel {
+			return nil
+		}
+		var out []*cfg.Node
+		left := false
+		for _, p := range n.Preds {
+			if inLoop(p) {
+				out = append(out, p)
+			} else {
+				left = true
+			}
+		}
+		if left {
+			out = append(out, sentinel)
+		}
+		return out
+	}
+	for _, rd := range a.Reads {
+		// A node that both reads and writes (x(p) = x(p) + 1) evaluates
+		// the read before the write, so the write does not cover it.
+		res := bdfs.RunFromSuccessors(rd, bdfs.Config{
+			Succs:  preds,
+			FBound: func(n *cfg.Node) bool { return a.classes[n].write },
+			FFailed: func(n *cfg.Node) bool {
+				if n == sentinel {
+					return true
+				}
+				ci := a.classes[n]
+				return ci.inc || ci.dec || ci.reset || ci.other
+			},
+		})
+		if res == bdfs.Failed {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Stack access (§2.3, Table 1)
+
+// StackResult reports a successful array-stack test.
+type StackResult struct {
+	Access *Access
+	// Bottom is the region-invariant expression the index is reset to at
+	// the start of each iteration (Cbottom).
+	Bottom lang.Expr
+	// ResetFirst is true when, on every path from the start of an
+	// iteration, the reset precedes every other stack operation — the
+	// condition that makes the stack privatizable for the enclosing loop.
+	ResetFirst bool
+}
+
+// stackRules is Table 1 of the paper: for each originating statement class,
+// the classes that bound the search and the classes that fail it.
+type stackRule struct {
+	bound  func(classInfo) bool
+	failed func(classInfo) bool
+}
+
+var stackRules = map[Class]stackRule{
+	ClassInc: { // after a push: must write the new top next
+		bound:  func(c classInfo) bool { return c.write || c.reset },
+		failed: func(c classInfo) bool { return c.inc || c.dec || c.read },
+	},
+	ClassDec: { // after a pop: next stack event is a push, a read, or a reset
+		bound:  func(c classInfo) bool { return c.inc || c.read || c.reset },
+		failed: func(c classInfo) bool { return c.dec || c.write },
+	},
+	ClassWrite: { // after writing the top: push further, read it back, or reset
+		bound:  func(c classInfo) bool { return c.inc || c.read || c.reset },
+		failed: func(c classInfo) bool { return c.dec || c.write },
+	},
+	ClassRead: { // after reading the top: it must be popped (or reset)
+		bound:  func(c classInfo) bool { return c.dec || c.reset },
+		failed: func(c classInfo) bool { return c.inc || c.write || c.read },
+	},
+}
+
+// CheckStack runs the §2.3 test on the loop body region: the index may only
+// be defined by p=p+1, p=p-1 and p=Cbottom with a single region-invariant
+// Cbottom, and every path originating at a stack operation must reach a
+// bounding operation before a failing one, per Table 1.
+func CheckStack(a *Access) *StackResult {
+	// Index definitions restricted to the three allowed forms.
+	var bottom lang.Expr
+	for _, def := range a.IndexDefs {
+		ci := a.classes[def]
+		switch {
+		case ci.inc || ci.dec:
+		case ci.reset:
+			if bottom == nil {
+				bottom = ci.resetVal
+			} else if !expr.FromAST(bottom).Equal(expr.FromAST(ci.resetVal)) {
+				return nil // two different bottoms
+			}
+		default:
+			return nil
+		}
+	}
+	if bottom == nil {
+		return nil // never reset: cannot establish the bottom
+	}
+
+	sentinel := exitSentinel()
+	succs := iterationSuccs(a.Loop, sentinel)
+	classOf := func(n *cfg.Node) classInfo {
+		if n == sentinel {
+			return classInfo{}
+		}
+		return a.classes[n]
+	}
+
+	// A node combining classes (e.g. both read and write of x(p), or a
+	// statement like p = p + 1 that also reads x(p)) breaks the clean
+	// event ordering; reject.
+	for _, n := range a.Loop.Body() {
+		ci := a.classes[n]
+		k := 0
+		for _, b := range []bool{ci.inc, ci.dec, ci.reset, ci.write, ci.read} {
+			if b {
+				k++
+			}
+		}
+		if k > 1 {
+			return nil
+		}
+	}
+
+	for _, origin := range a.Loop.Body() {
+		oc := a.classes[origin]
+		var rule stackRule
+		switch {
+		case oc.inc:
+			rule = stackRules[ClassInc]
+		case oc.dec:
+			rule = stackRules[ClassDec]
+		case oc.write:
+			rule = stackRules[ClassWrite]
+		case oc.read:
+			rule = stackRules[ClassRead]
+		default:
+			continue
+		}
+		res := bdfs.RunFromSuccessors(origin, bdfs.Config{
+			Succs:   succs,
+			FBound:  func(n *cfg.Node) bool { return rule.bound(classOf(n)) },
+			FFailed: func(n *cfg.Node) bool { return n != sentinel && rule.failed(classOf(n)) },
+		})
+		if res == bdfs.Failed {
+			return nil
+		}
+	}
+
+	return &StackResult{
+		Access:     a,
+		Bottom:     bottom,
+		ResetFirst: a.resetFirst(sentinel),
+	}
+}
+
+// resetFirst checks that on every path from the start of an iteration the
+// reset precedes any other operation on the index or the array.
+func (a *Access) resetFirst(sentinel *cfg.Node) bool {
+	succs := iterationSuccs(a.Loop, sentinel)
+	res := bdfs.RunFromSuccessors(a.Loop.Head, bdfs.Config{
+		Succs:  succs,
+		FBound: func(n *cfg.Node) bool { return a.classes[n].reset },
+		FFailed: func(n *cfg.Node) bool {
+			if n == sentinel {
+				return false // iteration may end without touching the stack
+			}
+			ci := a.classes[n]
+			return ci.inc || ci.dec || ci.write || ci.read || ci.other
+		},
+	})
+	return res == bdfs.Succeeded
+}

@@ -1,0 +1,353 @@
+// Package dataflow provides the scalar data-flow facts the analyses and
+// transformations share: per-statement def/use extraction, interprocedural
+// modified-variable summaries, scalar reaching definitions on the flat CFG,
+// and loop-invariance tests.
+package dataflow
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/lang"
+	"repro/internal/sem"
+)
+
+// Ref is one array reference occurrence.
+type Ref struct {
+	Array string
+	Args  []lang.Expr
+	Store bool // write (left-hand side) or read
+	Stmt  lang.Stmt
+}
+
+// StmtFacts lists the variables one statement reads and writes, at
+// statement granularity (not descending into nested bodies).
+type StmtFacts struct {
+	ScalarReads  []string
+	ScalarWrites []string
+	ArrayReads   []Ref
+	ArrayWrites  []Ref
+	Calls        []string
+}
+
+// Facts extracts the def/use facts of a single statement. Loop headers
+// contribute their bound expressions as reads and the loop variable as a
+// write.
+func Facts(s lang.Stmt) StmtFacts {
+	var f StmtFacts
+	addExprReads := func(e lang.Expr) {
+		lang.WalkExpr(e, func(x lang.Expr) bool {
+			switch x := x.(type) {
+			case *lang.Ident:
+				f.ScalarReads = append(f.ScalarReads, x.Name)
+			case *lang.ArrayRef:
+				if !x.Intrinsic {
+					f.ArrayReads = append(f.ArrayReads, Ref{Array: x.Name, Args: x.Args, Stmt: s})
+				}
+			}
+			return true
+		})
+	}
+	switch s := s.(type) {
+	case *lang.AssignStmt:
+		switch lhs := s.Lhs.(type) {
+		case *lang.Ident:
+			f.ScalarWrites = append(f.ScalarWrites, lhs.Name)
+		case *lang.ArrayRef:
+			f.ArrayWrites = append(f.ArrayWrites, Ref{Array: lhs.Name, Args: lhs.Args, Store: true, Stmt: s})
+			for _, a := range lhs.Args {
+				addExprReads(a)
+			}
+		}
+		addExprReads(s.Rhs)
+	case *lang.IfStmt:
+		addExprReads(s.Cond)
+	case *lang.DoStmt:
+		f.ScalarWrites = append(f.ScalarWrites, s.Var.Name)
+		addExprReads(s.Lo)
+		addExprReads(s.Hi)
+		if s.Step != nil {
+			addExprReads(s.Step)
+		}
+	case *lang.WhileStmt:
+		addExprReads(s.Cond)
+	case *lang.CallStmt:
+		f.Calls = append(f.Calls, s.Name)
+	case *lang.PrintStmt:
+		for _, a := range s.Args {
+			addExprReads(a)
+		}
+	}
+	return f
+}
+
+// CondFacts extracts the reads of one condition of an IF node (the main
+// condition or an ELSEIF arm), matching cfg.NIfCond granularity.
+func CondFacts(ifs *lang.IfStmt, condIndex int) StmtFacts {
+	var f StmtFacts
+	cond := ifs.Cond
+	if condIndex >= 0 && condIndex < len(ifs.Elifs) {
+		cond = ifs.Elifs[condIndex].Cond
+	}
+	lang.WalkExpr(cond, func(x lang.Expr) bool {
+		switch x := x.(type) {
+		case *lang.Ident:
+			f.ScalarReads = append(f.ScalarReads, x.Name)
+		case *lang.ArrayRef:
+			if !x.Intrinsic {
+				f.ArrayReads = append(f.ArrayReads, Ref{Array: x.Name, Args: x.Args, Stmt: ifs})
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// NodeFacts extracts the def/use facts of one CFG node.
+func NodeFacts(n *cfg.Node) StmtFacts {
+	switch n.Kind {
+	case cfg.NEntry, cfg.NExit:
+		return StmtFacts{}
+	case cfg.NIfCond:
+		return CondFacts(n.Stmt.(*lang.IfStmt), n.CondIndex)
+	default:
+		return Facts(n.Stmt)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural modified-variable summaries
+
+// ModSet is the set of variables (resolved against a unit's scope) a piece
+// of code may modify.
+type ModSet struct {
+	Scalars map[string]bool
+	Arrays  map[string]bool
+}
+
+// NewModSet returns an empty ModSet.
+func NewModSet() *ModSet {
+	return &ModSet{Scalars: map[string]bool{}, Arrays: map[string]bool{}}
+}
+
+func (m *ModSet) union(o *ModSet) {
+	for k := range o.Scalars {
+		m.Scalars[k] = true
+	}
+	for k := range o.Arrays {
+		m.Arrays[k] = true
+	}
+}
+
+// SortedScalars returns the modified scalar names in order.
+func (m *ModSet) SortedScalars() []string { return sortedKeys(m.Scalars) }
+
+// SortedArrays returns the modified array names in order.
+func (m *ModSet) SortedArrays() []string { return sortedKeys(m.Arrays) }
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ModInfo holds, for every unit, the set of global variables the unit may
+// modify (directly or through calls). Locals are excluded from the global
+// summary because they are invisible to callers.
+type ModInfo struct {
+	info    *sem.Info
+	byUnit  map[*lang.Unit]*ModSet // globals only, transitive
+	inlined map[*lang.Unit]*ModSet // including locals, non-transitive
+}
+
+// ComputeMod builds interprocedural modification summaries for all units,
+// visiting callees before callers (the call graph is acyclic; sem rejects
+// recursion).
+func ComputeMod(info *sem.Info) *ModInfo {
+	mi := &ModInfo{
+		info:    info,
+		byUnit:  map[*lang.Unit]*ModSet{},
+		inlined: map[*lang.Unit]*ModSet{},
+	}
+	for _, u := range info.CalleeOrder() {
+		direct := NewModSet()
+		global := NewModSet()
+		sc := info.Scope(u)
+		lang.WalkStmts(u.Body, func(s lang.Stmt) bool {
+			f := Facts(s)
+			for _, w := range f.ScalarWrites {
+				direct.Scalars[w] = true
+				if sym := sc.Lookup(w); sym != nil && sym.Global {
+					global.Scalars[w] = true
+				}
+			}
+			for _, w := range f.ArrayWrites {
+				direct.Arrays[w.Array] = true
+				if sym := sc.Lookup(w.Array); sym != nil && sym.Global {
+					global.Arrays[w.Array] = true
+				}
+			}
+			for _, callee := range f.Calls {
+				if cu := info.Program.Unit(callee); cu != nil {
+					if cm := mi.byUnit[cu]; cm != nil {
+						global.union(cm)
+						direct.union(cm)
+					}
+				}
+			}
+			return true
+		})
+		mi.byUnit[u] = global
+		mi.inlined[u] = direct
+	}
+	return mi
+}
+
+// GlobalsModifiedBy returns the globals the unit may modify, transitively.
+func (mi *ModInfo) GlobalsModifiedBy(u *lang.Unit) *ModSet { return mi.byUnit[u] }
+
+// ModifiedBy returns everything the unit may modify (locals included),
+// with callees' global effects folded in.
+func (mi *ModInfo) ModifiedBy(u *lang.Unit) *ModSet { return mi.inlined[u] }
+
+// StmtsMod computes the modification set of a statement list within unit u,
+// following calls through the interprocedural summaries.
+func (mi *ModInfo) StmtsMod(u *lang.Unit, stmts []lang.Stmt) *ModSet {
+	out := NewModSet()
+	lang.WalkStmts(stmts, func(s lang.Stmt) bool {
+		f := Facts(s)
+		for _, w := range f.ScalarWrites {
+			out.Scalars[w] = true
+		}
+		for _, w := range f.ArrayWrites {
+			out.Arrays[w.Array] = true
+		}
+		for _, callee := range f.Calls {
+			if cu := mi.info.Program.Unit(callee); cu != nil {
+				if cm := mi.byUnit[cu]; cm != nil {
+					out.union(cm)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reaching definitions
+
+// DefSite is one definition of a scalar: the CFG node performing it.
+type DefSite struct {
+	Var  string
+	Node *cfg.Node
+}
+
+// ReachingDefs maps every CFG node to the set of definitions reaching its
+// entry. Calls conservatively define every global the callee may modify;
+// such definitions have the call node as their site.
+type ReachingDefs struct {
+	In map[*cfg.Node]map[DefSite]bool
+}
+
+// ComputeReaching runs the classic iterative reaching-definitions analysis
+// on the flat CFG of u.
+func ComputeReaching(g *cfg.Graph, info *sem.Info, mi *ModInfo) *ReachingDefs {
+	// Gen/kill per node.
+	gen := map[*cfg.Node][]DefSite{}
+	killsVar := map[*cfg.Node]map[string]bool{}
+	for _, n := range g.Nodes {
+		f := NodeFacts(n)
+		kv := map[string]bool{}
+		for _, w := range f.ScalarWrites {
+			gen[n] = append(gen[n], DefSite{Var: w, Node: n})
+			kv[w] = true
+		}
+		for _, callee := range f.Calls {
+			if cu := info.Program.Unit(callee); cu != nil && mi != nil {
+				for _, v := range mi.GlobalsModifiedBy(cu).SortedScalars() {
+					gen[n] = append(gen[n], DefSite{Var: v, Node: n})
+					kv[v] = true
+				}
+			}
+		}
+		killsVar[n] = kv
+	}
+
+	in := map[*cfg.Node]map[DefSite]bool{}
+	out := map[*cfg.Node]map[DefSite]bool{}
+	for _, n := range g.Nodes {
+		in[n] = map[DefSite]bool{}
+		out[n] = map[DefSite]bool{}
+	}
+	order := g.ReversePostorder()
+	changed := true
+	for changed {
+		changed = false
+		for _, n := range order {
+			ni := in[n]
+			for _, p := range n.Preds {
+				for d := range out[p] {
+					if !ni[d] {
+						ni[d] = true
+						changed = true
+					}
+				}
+			}
+			no := out[n]
+			for d := range ni {
+				if !killsVar[n][d.Var] && !no[d] {
+					no[d] = true
+					changed = true
+				}
+			}
+			for _, d := range gen[n] {
+				if !no[d] {
+					no[d] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return &ReachingDefs{In: in}
+}
+
+// DefsOf returns the definitions of v reaching node n, sorted by node ID.
+func (rd *ReachingDefs) DefsOf(n *cfg.Node, v string) []*cfg.Node {
+	var out []*cfg.Node
+	for d := range rd.In[n] {
+		if d.Var == v {
+			out = append(out, d.Node)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Loop invariance
+
+// InvariantIn reports whether evaluating e yields the same value in every
+// iteration of the loop: no scalar it reads is modified in the loop body
+// (or by calls made from it), and no array it reads is modified there.
+// The loop variable itself always varies.
+func InvariantIn(e lang.Expr, loopVar string, mod *ModSet) bool {
+	inv := true
+	lang.WalkExpr(e, func(x lang.Expr) bool {
+		switch x := x.(type) {
+		case *lang.Ident:
+			if x.Name == loopVar || mod.Scalars[x.Name] {
+				inv = false
+			}
+		case *lang.ArrayRef:
+			if !x.Intrinsic && mod.Arrays[x.Name] {
+				inv = false
+			}
+		}
+		return inv
+	})
+	return inv
+}

@@ -1,0 +1,270 @@
+package dataflow
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/lang"
+	"repro/internal/sem"
+)
+
+func setup(t *testing.T, src string) (*sem.Info, *ModInfo) {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Check(prog)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	return info, ComputeMod(info)
+}
+
+func TestFactsAssign(t *testing.T) {
+	prog, _ := lang.Parse("program p\n integer i, j\n real x(10), y(10)\n x(i+1) = y(j) + i\nend\n")
+	s := prog.Main.Body[0]
+	f := Facts(s)
+	if !reflect.DeepEqual(f.ScalarReads, []string{"i", "j", "i"}) {
+		t.Errorf("reads: %v", f.ScalarReads)
+	}
+	if len(f.ArrayWrites) != 1 || f.ArrayWrites[0].Array != "x" {
+		t.Errorf("array writes: %v", f.ArrayWrites)
+	}
+	if len(f.ArrayReads) != 1 || f.ArrayReads[0].Array != "y" {
+		t.Errorf("array reads: %v", f.ArrayReads)
+	}
+}
+
+func TestFactsDoHeader(t *testing.T) {
+	prog, _ := lang.Parse("program p\n integer i, n\n do i = 1, n\n continue\n end do\nend\n")
+	f := Facts(prog.Main.Body[0])
+	if !reflect.DeepEqual(f.ScalarWrites, []string{"i"}) {
+		t.Errorf("writes: %v", f.ScalarWrites)
+	}
+	if !reflect.DeepEqual(f.ScalarReads, []string{"n"}) {
+		t.Errorf("reads: %v", f.ScalarReads)
+	}
+}
+
+func TestFactsIntrinsicNotArray(t *testing.T) {
+	src := "program p\n integer i, j\n i = mod(j, 2)\nend\n"
+	prog, _ := lang.Parse(src)
+	if _, err := sem.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	f := Facts(prog.Main.Body[0])
+	if len(f.ArrayReads) != 0 {
+		t.Errorf("intrinsic counted as array read: %v", f.ArrayReads)
+	}
+}
+
+func TestModInterprocedural(t *testing.T) {
+	info, mi := setup(t, `
+program main
+  integer g1, g2
+  real ga(10)
+  call outer
+end
+subroutine outer
+  integer l
+  l = 1
+  g1 = 2
+  call inner
+end
+subroutine inner
+  ga(1) = 0.0
+  g2 = 3
+end
+`)
+	outer := info.Program.Unit("outer")
+	g := mi.GlobalsModifiedBy(outer)
+	if !g.Scalars["g1"] || !g.Scalars["g2"] || !g.Arrays["ga"] {
+		t.Errorf("outer global mods: scalars=%v arrays=%v", g.SortedScalars(), g.SortedArrays())
+	}
+	if g.Scalars["l"] {
+		t.Error("local leaked into global summary")
+	}
+	all := mi.ModifiedBy(outer)
+	if !all.Scalars["l"] {
+		t.Error("direct summary should include locals")
+	}
+}
+
+func TestStmtsModWithCalls(t *testing.T) {
+	info, mi := setup(t, `
+program main
+  integer g
+  integer i
+  do i = 1, 3
+    call bump
+  end do
+end
+subroutine bump
+  g = g + 1
+end
+`)
+	loop := info.Program.Main.Body[0].(*lang.DoStmt)
+	mod := mi.StmtsMod(info.Program.Main, loop.Body)
+	if !mod.Scalars["g"] {
+		t.Errorf("call effect missing: %v", mod.SortedScalars())
+	}
+}
+
+func TestReachingDefs(t *testing.T) {
+	info, mi := setup(t, `
+program p
+  integer a, b
+  a = 1
+  if (b > 0) then
+    a = 2
+  end if
+  b = a
+end
+`)
+	g := cfg.Build(info.Program.Main)
+	rd := ComputeReaching(g, info, mi)
+	// At "b = a", both definitions of a reach.
+	var lastAssign *cfg.Node
+	for _, n := range g.Nodes {
+		if n.Kind == cfg.NStmt {
+			if as, ok := n.Stmt.(*lang.AssignStmt); ok {
+				if id, ok := as.Lhs.(*lang.Ident); ok && id.Name == "b" {
+					lastAssign = n
+				}
+			}
+		}
+	}
+	if lastAssign == nil {
+		t.Fatal("b = a not found")
+	}
+	defs := rd.DefsOf(lastAssign, "a")
+	if len(defs) != 2 {
+		t.Errorf("defs of a at b=a: %d, want 2", len(defs))
+	}
+}
+
+func TestReachingDefsLoop(t *testing.T) {
+	info, mi := setup(t, `
+program p
+  integer i, s, n
+  s = 0
+  do i = 1, n
+    s = s + 1
+  end do
+  n = s
+end
+`)
+	g := cfg.Build(info.Program.Main)
+	rd := ComputeReaching(g, info, mi)
+	// Inside the loop, s has two reaching defs: s=0 and s=s+1.
+	loop := info.Program.Main.Body[1].(*lang.DoStmt)
+	inner := g.StmtNode[loop.Body[0]]
+	defs := rd.DefsOf(inner, "s")
+	if len(defs) != 2 {
+		t.Errorf("defs of s in loop: %d, want 2", len(defs))
+	}
+}
+
+func TestReachingDefsCallSite(t *testing.T) {
+	info, mi := setup(t, `
+program p
+  integer g
+  g = 1
+  call clobber
+  g = g
+end
+subroutine clobber
+  g = 2
+end
+`)
+	g := cfg.Build(info.Program.Main)
+	rd := ComputeReaching(g, info, mi)
+	var last *cfg.Node
+	for _, n := range g.Nodes {
+		if n.Kind == cfg.NStmt {
+			if _, ok := n.Stmt.(*lang.AssignStmt); ok {
+				last = n
+			}
+		}
+	}
+	defs := rd.DefsOf(last, "g")
+	// Only the call's definition reaches (it kills g=1).
+	if len(defs) != 1 || defs[0].Kind != cfg.NStmt {
+		t.Fatalf("defs: %v", defs)
+	}
+	if _, ok := defs[0].Stmt.(*lang.CallStmt); !ok {
+		t.Errorf("reaching def should be the call, got %v", defs[0])
+	}
+}
+
+func TestInvariantIn(t *testing.T) {
+	info, mi := setup(t, `
+program p
+  integer i, n, m
+  real x(10)
+  do i = 1, n
+    m = i
+    x(i) = real(n)
+  end do
+end
+`)
+	loop := info.Program.Main.Body[0].(*lang.DoStmt)
+	mod := mi.StmtsMod(info.Program.Main, loop.Body)
+
+	nExpr := &lang.Ident{Name: "n"}
+	mExpr := &lang.Ident{Name: "m"}
+	iExpr := &lang.Ident{Name: "i"}
+	if !InvariantIn(nExpr, "i", mod) {
+		t.Error("n should be invariant")
+	}
+	if InvariantIn(mExpr, "i", mod) {
+		t.Error("m is assigned in the loop")
+	}
+	if InvariantIn(iExpr, "i", mod) {
+		t.Error("the loop variable is never invariant")
+	}
+	xRef := &lang.ArrayRef{Name: "x", Args: []lang.Expr{&lang.IntLit{Value: 1}}}
+	if InvariantIn(xRef, "i", mod) {
+		t.Error("x is written in the loop")
+	}
+}
+
+func TestCondFactsElifArms(t *testing.T) {
+	prog, _ := lang.Parse(`
+program p
+  integer a, b, c
+  real x(10)
+  if (a > 0) then
+    c = 1
+  else if (x(b) > 0.0) then
+    c = 2
+  end if
+end
+`)
+	if _, err := sem.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	ifs := prog.Main.Body[0].(*lang.IfStmt)
+	main := CondFacts(ifs, -1)
+	if len(main.ScalarReads) != 1 || main.ScalarReads[0] != "a" {
+		t.Errorf("main cond reads: %v", main.ScalarReads)
+	}
+	arm := CondFacts(ifs, 0)
+	if len(arm.ArrayReads) != 1 || arm.ArrayReads[0].Array != "x" {
+		t.Errorf("elif arm array reads: %v", arm.ArrayReads)
+	}
+	if len(arm.ScalarReads) != 1 || arm.ScalarReads[0] != "b" {
+		t.Errorf("elif arm scalar reads: %v", arm.ScalarReads)
+	}
+}
+
+func TestNodeFactsEntryExit(t *testing.T) {
+	info, _ := setup(t, "program p\n integer a\n a = 1\nend\n")
+	g := cfg.Build(info.Program.Main)
+	f := NodeFacts(g.Entry)
+	if len(f.ScalarReads)+len(f.ScalarWrites) != 0 {
+		t.Error("entry node must have no facts")
+	}
+}

@@ -1,0 +1,54 @@
+package deptest
+
+import "testing"
+
+// TestWindowTaintedByBodyModifiedScalar: w changes inside each iteration,
+// so the symbolic window [w+i, w+i] does not bound iteration i's accesses;
+// claiming separation from lt(w+i, w+i+1) would be unsound.
+func TestWindowTaintedByBodyModifiedScalar(t *testing.T) {
+	src := `
+program taint
+  param nmax = 400
+  integer n, i, w
+  real x(nmax)
+  do i = 1, n
+    w = i * 10
+    do while (w > 0)
+      x(w + i) = 1.0
+      w = w - 3
+    end do
+  end do
+end
+`
+	w := build(t, src, false)
+	v := w.analyze(w.loopN(0))["x"]
+	if v == nil || v.Independent {
+		t.Fatalf("UNSOUND: body-modified scalar in subscript must block independence: %+v", v)
+	}
+}
+
+// TestWindowTaintedByBodyModifiedArray: the index array is rewritten every
+// iteration; its atoms are not stable symbols either.
+func TestWindowTaintedByBodyModifiedArray(t *testing.T) {
+	src := `
+program tainta
+  param nmax = 100
+  integer n, i, j
+  integer ind(nmax)
+  real x(nmax)
+  do i = 1, n
+    do j = 1, 4
+      ind(j) = mod(i * j, nmax) + 1
+    end do
+    do j = 1, 4
+      x(ind(j) + j) = real(i)
+    end do
+  end do
+end
+`
+	w := build(t, src, false)
+	v := w.analyze(w.loopN(0))["x"]
+	if v == nil || v.Independent {
+		t.Fatalf("UNSOUND: body-modified index array must block raw window separation: %+v", v)
+	}
+}

@@ -1,0 +1,359 @@
+package expr
+
+import (
+	"sort"
+	"strings"
+)
+
+// Sign encodes conservative sign knowledge about an atom.
+type Sign int
+
+// Sign facts, ordered so that stronger facts have higher values where
+// meaningful.
+const (
+	Unknown Sign = iota
+	GE0          // atom >= 0
+	GT0          // atom >= 1 (atoms are integers)
+	LE0          // atom <= 0
+	LT0          // atom <= -1
+)
+
+// Assumptions maps atom names (canonical keys, see Expr.Atoms) to sign
+// facts. It represents what the analysis has been able to prove about
+// symbolic terms, e.g. that every element of a length array is nonnegative.
+type Assumptions map[string]Sign
+
+// With returns a copy of a extended with name:s.
+func (a Assumptions) With(name string, s Sign) Assumptions {
+	n := make(Assumptions, len(a)+1)
+	for k, v := range a {
+		n[k] = v
+	}
+	n[name] = s
+	return n
+}
+
+// signOf returns the sign of one atom under the assumptions. A key of the
+// form "name(*)" states a fact about every element of an array: it matches
+// any atom "name(<subscript>)".
+func (a Assumptions) signOf(atom string) Sign {
+	if s, ok := a[atom]; ok {
+		return s
+	}
+	if i := strings.IndexByte(atom, '('); i > 0 {
+		if s, ok := a[atom[:i]+"(*)"]; ok {
+			return s
+		}
+	}
+	return Unknown
+}
+
+// termSign computes the sign of coef·Πatoms^pow under the assumptions.
+// The caller guarantees integral coefficients (ProveGE0 scales first).
+func termSign(t *term, a Assumptions) Sign {
+	// Start from the coefficient.
+	var s Sign
+	switch {
+	case t.coef.sign() > 0:
+		s = GT0
+	case t.coef.sign() < 0:
+		s = LT0
+	default:
+		return GE0 // zero term
+	}
+	for _, f := range t.factors {
+		fs := a.signOf(f.atom)
+		if f.pow%2 == 0 {
+			// Even power: x^2k >= 0 always; > 0 only if x != 0 which we
+			// cannot express, so weaken strict to non-strict.
+			switch fs {
+			case GT0, LT0:
+				fs = GT0
+			default:
+				fs = GE0
+			}
+		}
+		s = mulSign(s, fs)
+		if s == Unknown {
+			return Unknown
+		}
+	}
+	return s
+}
+
+func mulSign(x, y Sign) Sign {
+	switch {
+	case x == Unknown || y == Unknown:
+		return Unknown
+	case x == GT0 && y == GT0, x == LT0 && y == LT0:
+		return GT0
+	case (x == GT0 && y == LT0) || (x == LT0 && y == GT0):
+		return LT0
+	case (x == GE0 && (y == GE0 || y == GT0)) || (x == GT0 && y == GE0):
+		return GE0
+	case (x == LE0 && (y == LE0 || y == LT0)) || (x == LT0 && y == LE0):
+		return GE0
+	case (x == GE0 && (y == LE0 || y == LT0)) || ((x == LE0 || x == LT0) && y == GE0),
+		(x == GT0 && y == LE0) || (x == LE0 && y == GT0):
+		return LE0
+	}
+	return Unknown
+}
+
+// ProveGE0 conservatively proves e >= 0 under the assumptions: true means
+// provably nonnegative; false means "could not prove", not "negative".
+// Rational coefficients are cleared by scaling with the (positive) common
+// denominator, which preserves the sign.
+func ProveGE0(e *Expr, a Assumptions) bool {
+	den := int64(1)
+	if !e.konst.isInt() {
+		den = lcm64(den, e.konst.d)
+	}
+	for _, t := range e.terms {
+		if !t.coef.isInt() {
+			den = lcm64(den, t.coef.d)
+		}
+	}
+	if den != 1 {
+		e = e.MulConst(den)
+	}
+	if e.konst.n < 0 {
+		// The constant must be covered by a strictly positive term; we
+		// only handle the common pattern  atom - c  with atom >= 1
+		// (i.e. GT0 means >= 1, so atom - 1 >= 0).
+		// General case: sum of GT0 term counts as >= 1 each.
+		budget := e.konst.n
+		for _, t := range e.terms {
+			switch termSign(t, a) {
+			case GT0:
+				budget += absCoefLowerBound(t)
+			case GE0:
+				// contributes >= 0
+			default:
+				return false
+			}
+		}
+		return budget >= 0
+	}
+	for _, t := range e.terms {
+		s := termSign(t, a)
+		if s != GE0 && s != GT0 {
+			return false
+		}
+	}
+	return true
+}
+
+// absCoefLowerBound returns a lower bound for a term known to be GT0: a
+// product of integers each >= 1, scaled by |coef|, is >= |coef|.
+func absCoefLowerBound(t *term) int64 {
+	c := t.coef.n
+	if c < 0 {
+		c = -c
+	}
+	return c
+}
+
+// ProveGT0 conservatively proves e >= 1.
+func ProveGT0(e *Expr, a Assumptions) bool {
+	return ProveGE0(e.AddConst(-1), a)
+}
+
+// ProveLE conservatively proves x <= y.
+func ProveLE(x, y *Expr, a Assumptions) bool { return ProveGE0(y.Sub(x), a) }
+
+// ProveLT conservatively proves x < y (x <= y-1 over the integers).
+func ProveLT(x, y *Expr, a Assumptions) bool { return ProveGT0(y.Sub(x), a) }
+
+// ---------------------------------------------------------------------------
+// Symbolic ranges
+
+// Range is a closed symbolic interval [Lo, Hi]. Either bound may be nil,
+// meaning unbounded in that direction.
+type Range struct {
+	Lo, Hi *Expr
+}
+
+// NewRange builds a range from two expressions.
+func NewRange(lo, hi *Expr) Range { return Range{Lo: lo, Hi: hi} }
+
+// ConstRange builds [lo, hi] with constant bounds.
+func ConstRange(lo, hi int64) Range { return Range{Lo: Const(lo), Hi: Const(hi)} }
+
+// Point builds the degenerate range [e, e].
+func Point(e *Expr) Range { return Range{Lo: e, Hi: e} }
+
+// IsPoint reports whether the range is a single known expression.
+func (r Range) IsPoint() bool {
+	return r.Lo != nil && r.Hi != nil && r.Lo.Equal(r.Hi)
+}
+
+func (r Range) String() string {
+	lo, hi := "-inf", "+inf"
+	if r.Lo != nil {
+		lo = r.Lo.String()
+	}
+	if r.Hi != nil {
+		hi = r.Hi.String()
+	}
+	return "[" + lo + ":" + hi + "]"
+}
+
+// Env maps variable names (typically loop indices) to their value ranges.
+type Env map[string]Range
+
+// With returns a copy of env extended with name:r.
+func (env Env) With(name string, r Range) Env {
+	n := make(Env, len(env)+1)
+	for k, v := range env {
+		n[k] = v
+	}
+	n[name] = r
+	return n
+}
+
+// Vars returns the sorted variable names bound in the environment.
+func (env Env) Vars() []string {
+	vs := make([]string, 0, len(env))
+	for v := range env {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+// Bounds computes a symbolic range for e under env and assumptions: each
+// environment variable is replaced by its lower or upper bound according to
+// the sign of its coefficient. ok is false when e uses an environment
+// variable in a position the method cannot bound (non-linear occurrence,
+// occurrence inside an opaque atom, or a product with another environment
+// variable of unknown sign).
+//
+// This is the bound-substitution step of Banerjee's test, extended to
+// symbolic bounds as in the range test (Blume & Eigenmann), which the
+// offset–length test builds on (paper §3.2.7).
+func Bounds(e *Expr, env Env, a Assumptions) (Range, bool) {
+	lo, hi := e, e
+	// Eliminate innermost variables first: if u's range mentions v (u is
+	// nested inside v's loop), u must be eliminated before v, otherwise
+	// substituting v's bounds loses the u–v correlation and the interval
+	// widens needlessly (Banerjee's test substitutes innermost-first).
+	order := eliminationOrder(env)
+	// Eliminating one variable can still introduce another, so iterate to
+	// a fixed point; a cyclic environment is caught by the final
+	// MentionsVar check.
+	for pass := 0; pass <= len(env); pass++ {
+		changed := false
+		for _, v := range order {
+			r := env[v]
+			if lo.HasAtom(v) {
+				coef, rest, ok := lo.Affine(v)
+				if !ok {
+					return Range{}, false
+				}
+				lo = substBound(coef, rest, r, false)
+				if lo == nil {
+					return Range{}, false
+				}
+				changed = true
+			}
+			if hi.HasAtom(v) {
+				coef, rest, ok := hi.Affine(v)
+				if !ok {
+					return Range{}, false
+				}
+				hi = substBound(coef, rest, r, true)
+				if hi == nil {
+					return Range{}, false
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Any remaining env vars (hidden inside atoms, or a cyclic
+	// environment) make the bound invalid.
+	for v := range env {
+		if lo.MentionsVar(v) || hi.MentionsVar(v) {
+			return Range{}, false
+		}
+	}
+	return Range{Lo: lo, Hi: hi}, true
+}
+
+// eliminationOrder sorts the environment variables innermost-first: a
+// variable whose range mentions another pending variable is nested inside
+// it and must be eliminated earlier. Ties and cycles fall back to name
+// order (cycles are then caught by the caller's residual-mention check).
+func eliminationOrder(env Env) []string {
+	pending := env.Vars()
+	order := make([]string, 0, len(pending))
+	for len(pending) > 0 {
+		picked := -1
+		for i, v := range pending {
+			mentionedByOther := false
+			for _, u := range pending {
+				if u == v {
+					continue
+				}
+				r := env[u]
+				if (r.Lo != nil && r.Lo.MentionsVar(v)) || (r.Hi != nil && r.Hi.MentionsVar(v)) {
+					mentionedByOther = true
+					break
+				}
+			}
+			if !mentionedByOther {
+				picked = i
+				break
+			}
+		}
+		if picked < 0 {
+			picked = 0 // cycle: arbitrary but deterministic
+		}
+		// The picked variable is mentioned by no other pending range, so
+		// it is innermost: an inner index appears in no other variable's
+		// bounds, while its own bounds mention the outer indices.
+		order = append(order, pending[picked])
+		pending = append(pending[:picked], pending[picked+1:]...)
+	}
+	return order
+}
+
+// substBound replaces coef·v (+ rest) by coef·bound + rest choosing the
+// bound that maximises (wantHi) or minimises the value.
+func substBound(coef int64, rest *Expr, r Range, wantHi bool) *Expr {
+	if coef == 0 {
+		return rest
+	}
+	var b *Expr
+	if (coef > 0) == wantHi {
+		b = r.Hi
+	} else {
+		b = r.Lo
+	}
+	if b == nil {
+		return nil
+	}
+	return rest.Add(b.MulConst(coef))
+}
+
+// DisjointRanges conservatively proves that ranges r1 and r2 do not
+// intersect: r1.Hi < r2.Lo or r2.Hi < r1.Lo.
+func DisjointRanges(r1, r2 Range, a Assumptions) bool {
+	if r1.Hi != nil && r2.Lo != nil && ProveLT(r1.Hi, r2.Lo, a) {
+		return true
+	}
+	if r2.Hi != nil && r1.Lo != nil && ProveLT(r2.Hi, r1.Lo, a) {
+		return true
+	}
+	return false
+}
+
+// RangeContains conservatively proves outer ⊇ inner.
+func RangeContains(outer, inner Range, a Assumptions) bool {
+	loOK := outer.Lo == nil || (inner.Lo != nil && ProveLE(outer.Lo, inner.Lo, a))
+	hiOK := outer.Hi == nil || (inner.Hi != nil && ProveLE(inner.Hi, outer.Hi, a))
+	return loOK && hiOK
+}

@@ -1,0 +1,76 @@
+package expr
+
+import "fmt"
+
+// rat is a rational coefficient n/d with d >= 1, kept normalized. Rational
+// coefficients appear only through provably exact division (e.g. the
+// triangular form i*(i-1)/2, whose divisibility by 2 follows from parity);
+// truncating integer division otherwise stays an opaque atom.
+type rat struct {
+	n, d int64
+}
+
+func ratInt(n int64) rat { return rat{n, 1} }
+
+func (r rat) norm() rat {
+	if r.d == 0 {
+		panic("expr: zero denominator")
+	}
+	if r.n == 0 {
+		return rat{0, 1}
+	}
+	if r.d < 0 {
+		r.n, r.d = -r.n, -r.d
+	}
+	g := gcdAbs(r.n, r.d)
+	if g > 1 {
+		r.n /= g
+		r.d /= g
+	}
+	return r
+}
+
+func gcdAbs(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func (r rat) isZero() bool { return r.n == 0 }
+func (r rat) isInt() bool  { return r.d == 1 }
+func (r rat) sign() int {
+	switch {
+	case r.n > 0:
+		return 1
+	case r.n < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func (r rat) add(o rat) rat { return rat{r.n*o.d + o.n*r.d, r.d * o.d}.norm() }
+func (r rat) mul(o rat) rat { return rat{r.n * o.n, r.d * o.d}.norm() }
+func (r rat) neg() rat      { return rat{-r.n, r.d} }
+
+// divInt divides by a nonzero integer.
+func (r rat) divInt(c int64) rat { return rat{r.n, r.d * c}.norm() }
+
+func (r rat) String() string {
+	if r.d == 1 {
+		return fmt.Sprintf("%d", r.n)
+	}
+	return fmt.Sprintf("%d/%d", r.n, r.d)
+}
+
+// lcm64 returns the least common multiple (inputs positive).
+func lcm64(a, b int64) int64 {
+	return a / gcdAbs(a, b) * b
+}

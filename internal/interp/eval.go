@@ -1,0 +1,380 @@
+package interp
+
+import (
+	"math"
+
+	"repro/internal/lang"
+	"repro/internal/sem"
+)
+
+// eval evaluates one expression, charging the cost model.
+func (e *ex) eval(x lang.Expr) value {
+	in := e.in
+	switch x := x.(type) {
+	case *lang.IntLit:
+		in.charge(1)
+		return intV(x.Value)
+	case *lang.RealLit:
+		in.charge(1)
+		return realV(x.Value)
+	case *lang.BoolLit:
+		in.charge(1)
+		return boolV(x.Value)
+	case *lang.StrLit:
+		in.charge(1)
+		return boolV(false) // only printable; value unused
+	case *lang.Ident:
+		in.charge(1)
+		sym := in.identSyms[x]
+		if sym == nil {
+			sym = e.scope.Lookup(x.Name)
+			if sym == nil {
+				in.fail(x.NamePos, "undefined variable %q", x.Name)
+			}
+			in.identSyms[x] = sym
+		}
+		if sym.Kind == sem.ParamSym {
+			return intV(sym.Value)
+		}
+		return e.store.scalar(sym).v
+	case *lang.ArrayRef:
+		if x.Intrinsic {
+			return e.evalIntrinsic(x)
+		}
+		arr, idx := e.locate(x)
+		in.chargeAccess(x, arr, idx)
+		switch arr.sym.Type {
+		case lang.TInteger:
+			return intV(arr.ints[idx])
+		case lang.TReal:
+			return realV(arr.reals[idx])
+		default:
+			return boolV(arr.bools[idx])
+		}
+	case *lang.Unary:
+		v := e.eval(x.X)
+		in.charge(1)
+		switch x.Op {
+		case lang.OpNeg:
+			if v.k == lang.TInteger {
+				return intV(-v.i)
+			}
+			return realV(-v.r)
+		case lang.OpNot:
+			return boolV(!v.b)
+		}
+	case *lang.Binary:
+		return e.evalBinary(x)
+	}
+	in.fail(x.Pos(), "cannot evaluate %T", x)
+	return value{}
+}
+
+func (e *ex) evalBinary(x *lang.Binary) value {
+	in := e.in
+	// Short-circuit logicals.
+	switch x.Op {
+	case lang.OpAnd:
+		in.charge(1)
+		l := e.eval(x.X)
+		if !l.b {
+			return boolV(false)
+		}
+		return boolV(e.eval(x.Y).b)
+	case lang.OpOr:
+		in.charge(1)
+		l := e.eval(x.X)
+		if l.b {
+			return boolV(true)
+		}
+		return boolV(e.eval(x.Y).b)
+	}
+
+	l := e.eval(x.X)
+	r := e.eval(x.Y)
+
+	if x.Op.IsComparison() {
+		in.charge(1)
+		if l.k == lang.TLogical || r.k == lang.TLogical {
+			switch x.Op {
+			case lang.OpEq:
+				return boolV(l.b == r.b)
+			case lang.OpNe:
+				return boolV(l.b != r.b)
+			}
+		}
+		if l.k == lang.TInteger && r.k == lang.TInteger {
+			return boolV(cmpInt(x.Op, l.i, r.i))
+		}
+		return boolV(cmpReal(x.Op, l.toReal(), r.toReal()))
+	}
+
+	// Arithmetic.
+	if l.k == lang.TInteger && r.k == lang.TInteger {
+		in.charge(1)
+		switch x.Op {
+		case lang.OpAdd:
+			return intV(l.i + r.i)
+		case lang.OpSub:
+			return intV(l.i - r.i)
+		case lang.OpMul:
+			return intV(l.i * r.i)
+		case lang.OpDiv:
+			in.charge(7)
+			if r.i == 0 {
+				in.fail(x.Pos(), "integer division by zero")
+			}
+			return intV(l.i / r.i)
+		case lang.OpPow:
+			in.charge(7)
+			return intV(ipow(l.i, r.i))
+		}
+	}
+	in.charge(2)
+	lf, rf := l.toReal(), r.toReal()
+	switch x.Op {
+	case lang.OpAdd:
+		return realV(lf + rf)
+	case lang.OpSub:
+		return realV(lf - rf)
+	case lang.OpMul:
+		return realV(lf * rf)
+	case lang.OpDiv:
+		in.charge(6)
+		return realV(lf / rf)
+	case lang.OpPow:
+		in.charge(10)
+		return realV(math.Pow(lf, rf))
+	}
+	in.fail(x.Pos(), "cannot apply %s", x.Op)
+	return value{}
+}
+
+func cmpInt(op lang.Op, a, b int64) bool {
+	switch op {
+	case lang.OpEq:
+		return a == b
+	case lang.OpNe:
+		return a != b
+	case lang.OpLt:
+		return a < b
+	case lang.OpLe:
+		return a <= b
+	case lang.OpGt:
+		return a > b
+	case lang.OpGe:
+		return a >= b
+	}
+	return false
+}
+
+func cmpReal(op lang.Op, a, b float64) bool {
+	switch op {
+	case lang.OpEq:
+		return a == b
+	case lang.OpNe:
+		return a != b
+	case lang.OpLt:
+		return a < b
+	case lang.OpLe:
+		return a <= b
+	case lang.OpGt:
+		return a > b
+	case lang.OpGe:
+		return a >= b
+	}
+	return false
+}
+
+func ipow(base, exp int64) int64 {
+	if exp < 0 {
+		return 0
+	}
+	r := int64(1)
+	for ; exp > 0; exp-- {
+		r *= base
+	}
+	return r
+}
+
+func (e *ex) evalIntrinsic(x *lang.ArrayRef) value {
+	in := e.in
+	in.charge(8)
+	args := make([]value, len(x.Args))
+	for i, a := range x.Args {
+		args[i] = e.eval(a)
+	}
+	allInt := true
+	for _, a := range args {
+		if a.k != lang.TInteger {
+			allInt = false
+		}
+	}
+	switch x.Name {
+	case "mod":
+		if allInt {
+			if args[1].i == 0 {
+				in.fail(x.Pos(), "mod by zero")
+			}
+			return intV(args[0].i % args[1].i)
+		}
+		return realV(math.Mod(args[0].toReal(), args[1].toReal()))
+	case "min":
+		if allInt {
+			m := args[0].i
+			for _, a := range args[1:] {
+				if a.i < m {
+					m = a.i
+				}
+			}
+			return intV(m)
+		}
+		m := args[0].toReal()
+		for _, a := range args[1:] {
+			if a.toReal() < m {
+				m = a.toReal()
+			}
+		}
+		return realV(m)
+	case "max":
+		if allInt {
+			m := args[0].i
+			for _, a := range args[1:] {
+				if a.i > m {
+					m = a.i
+				}
+			}
+			return intV(m)
+		}
+		m := args[0].toReal()
+		for _, a := range args[1:] {
+			if a.toReal() > m {
+				m = a.toReal()
+			}
+		}
+		return realV(m)
+	case "abs":
+		if allInt {
+			if args[0].i < 0 {
+				return intV(-args[0].i)
+			}
+			return args[0]
+		}
+		return realV(math.Abs(args[0].toReal()))
+	case "sqrt":
+		return realV(math.Sqrt(args[0].toReal()))
+	case "sin":
+		return realV(math.Sin(args[0].toReal()))
+	case "cos":
+		return realV(math.Cos(args[0].toReal()))
+	case "exp":
+		return realV(math.Exp(args[0].toReal()))
+	case "log":
+		return realV(math.Log(args[0].toReal()))
+	case "int":
+		return intV(args[0].toInt())
+	case "real":
+		return realV(args[0].toReal())
+	}
+	in.fail(x.Pos(), "unknown intrinsic %q", x.Name)
+	return value{}
+}
+
+// locate resolves an array reference to storage and a flat element index,
+// with bounds checking (skipped for references proven safe by the
+// bounds-check elimination analysis — a wrong proof would surface as an
+// index panic in the Go runtime rather than silent corruption, since the
+// flat index is still range-bound by the backing slice).
+func (e *ex) locate(x *lang.ArrayRef) (*array, int64) {
+	in := e.in
+	sym := in.refSyms[x]
+	if sym == nil {
+		sym = e.scope.Lookup(x.Name)
+		if sym == nil || sym.Kind != sem.ArraySym {
+			in.fail(x.NamePos, "not an array: %q", x.Name)
+		}
+		in.refSyms[x] = sym
+	}
+	arr := e.store.array(sym)
+	checked := !in.opts.SafeRefs[x]
+	var idx int64
+	stride := int64(1)
+	for d := 0; d < len(sym.Dims); d++ {
+		sub := e.eval(x.Args[d]).toInt()
+		dim := sym.Dims[d]
+		if checked && (sub < dim.Lo || sub > dim.Hi) {
+			in.fail(x.NamePos, "subscript %d of %q out of bounds: %d not in [%d:%d]",
+				d+1, x.Name, sub, dim.Lo, dim.Hi)
+		}
+		idx += (sub - dim.Lo) * stride
+		stride *= dim.Size()
+	}
+	return arr, idx
+}
+
+// chargeAccess charges one array element access: base cost 3 (2 when the
+// bounds check was eliminated), and, under the locality model, -1 for a
+// sequential access (cache hit) or +5 for a non-sequential one (miss).
+func (in *Interp) chargeAccess(ref *lang.ArrayRef, arr *array, idx int64) {
+	cost := uint64(3)
+	if in.opts.SafeRefs[ref] {
+		cost = 2
+	}
+	if in.opts.LocalityModel {
+		if in.lastIdx == nil {
+			in.lastIdx = map[*array]int64{}
+		}
+		last, seen := in.lastIdx[arr]
+		if seen && (idx == last+1 || idx == last) {
+			cost--
+		} else {
+			cost += 5
+		}
+		in.lastIdx[arr] = idx
+	}
+	in.charge(cost)
+}
+
+// convert coerces a value to the declared type of a target.
+func convert(v value, t lang.BasicType) value {
+	switch t {
+	case lang.TInteger:
+		return intV(v.toInt())
+	case lang.TReal:
+		return realV(v.toReal())
+	default:
+		return v
+	}
+}
+
+// assign stores a value into a scalar or array element.
+func (e *ex) assign(lhs lang.Expr, v value) {
+	in := e.in
+	switch lhs := lhs.(type) {
+	case *lang.Ident:
+		in.charge(1)
+		sym := in.identSyms[lhs]
+		if sym == nil {
+			sym = e.scope.Lookup(lhs.Name)
+			if sym == nil || sym.Kind != sem.ScalarSym {
+				in.fail(lhs.NamePos, "cannot assign to %q", lhs.Name)
+			}
+			in.identSyms[lhs] = sym
+		}
+		e.store.scalar(sym).v = convert(v, sym.Type)
+	case *lang.ArrayRef:
+		arr, idx := e.locate(lhs)
+		in.chargeAccess(lhs, arr, idx)
+		cv := convert(v, arr.sym.Type)
+		switch arr.sym.Type {
+		case lang.TInteger:
+			arr.ints[idx] = cv.i
+		case lang.TReal:
+			arr.reals[idx] = cv.r
+		default:
+			arr.bools[idx] = cv.b
+		}
+	default:
+		in.fail(lhs.Pos(), "invalid assignment target")
+	}
+}

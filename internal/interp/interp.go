@@ -1,0 +1,571 @@
+// Package interp executes F-lite programs on the simulated parallel machine
+// of package machine. It is the substrate that regenerates the paper's
+// run-time results: sequential execution times (Table 2), and speedups of
+// the three compiler configurations at various processor counts (Fig. 16).
+//
+// DO loops annotated Parallel by the parallelizer distribute their
+// iterations over the machine's P virtual processors in contiguous blocks.
+// Variables in the loop's Private list get per-processor copies — freshly
+// poisoned, so an incorrectly privatized variable surfaces as a poisoned
+// result rather than a silently wrong one — and recognised reductions run
+// on per-processor partials combined afterwards. The chunk execution order
+// is configurable (forward or reverse); a correctly parallelized loop must
+// produce identical results under both, which the tests exploit.
+package interp
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/lang"
+	"repro/internal/machine"
+	"repro/internal/sem"
+)
+
+// Schedule selects the order in which a parallel loop's chunks execute on
+// the single real core. Any order must give the same result when the
+// parallelization is correct.
+type Schedule int
+
+// Schedules.
+const (
+	Forward Schedule = iota
+	Reverse
+)
+
+// Options configure one execution.
+type Options struct {
+	Machine  *machine.Machine // nil: cost accounting into a 1-processor machine
+	Out      io.Writer        // nil: print output discarded
+	MaxSteps uint64           // 0: default limit
+	Schedule Schedule
+	// Poison fills fresh private copies with a sentinel (NaN for reals,
+	// a large negative value for integers) instead of zero.
+	Poison bool
+	// TrackLoops, when non-nil, selects loops whose executed cycles are
+	// accumulated into LoopCycles() (meaningful in 1-processor runs; used
+	// for Table 3's per-loop time shares).
+	TrackLoops map[*lang.DoStmt]bool
+	// SafeRefs marks array references proven in bounds by the
+	// bounds-check elimination analysis: the per-access check is skipped
+	// and the access costs one cycle less.
+	SafeRefs map[*lang.ArrayRef]bool
+	// LocalityModel charges array accesses by spatial locality: an access
+	// to the element following the previous access of the same array is
+	// cheap (cache hit), any other one expensive (miss). Used to
+	// demonstrate loop interchange; off by default so the headline
+	// benchmarks use the flat memory model.
+	LocalityModel bool
+}
+
+// A RuntimeError aborts execution (bad subscript, step limit, ...).
+type RuntimeError struct {
+	Pos lang.Pos
+	Msg string
+}
+
+func (e *RuntimeError) Error() string { return fmt.Sprintf("%s: runtime error: %s", e.Pos, e.Msg) }
+
+// value is a runtime value.
+type value struct {
+	k lang.BasicType
+	i int64
+	r float64
+	b bool
+}
+
+func intV(i int64) value    { return value{k: lang.TInteger, i: i} }
+func realV(r float64) value { return value{k: lang.TReal, r: r} }
+func boolV(b bool) value    { return value{k: lang.TLogical, b: b} }
+
+func (v value) toReal() float64 {
+	if v.k == lang.TInteger {
+		return float64(v.i)
+	}
+	return v.r
+}
+
+func (v value) toInt() int64 {
+	if v.k == lang.TReal {
+		return int64(v.r)
+	}
+	return v.i
+}
+
+// array is the runtime storage of one array symbol.
+type array struct {
+	sym   *sem.Symbol
+	ints  []int64
+	reals []float64
+	bools []bool
+}
+
+func newArray(sym *sem.Symbol) *array {
+	n := sym.NumElems()
+	a := &array{sym: sym}
+	switch sym.Type {
+	case lang.TInteger:
+		a.ints = make([]int64, n)
+	case lang.TReal:
+		a.reals = make([]float64, n)
+	case lang.TLogical:
+		a.bools = make([]bool, n)
+	}
+	return a
+}
+
+func (a *array) poison() {
+	for i := range a.ints {
+		a.ints[i] = poisonInt
+	}
+	for i := range a.reals {
+		a.reals[i] = math.NaN()
+	}
+}
+
+const poisonInt = int64(-0x5EAD5EAD5EAD)
+
+// cell is scalar storage.
+type cell struct {
+	v value
+}
+
+// store maps symbols to storage; lookups fall through to the parent.
+// Private frames overlay selected symbols.
+type store struct {
+	parent  *store
+	scalars map[*sem.Symbol]*cell
+	arrays  map[*sem.Symbol]*array
+}
+
+func newStore(parent *store) *store {
+	return &store{parent: parent, scalars: map[*sem.Symbol]*cell{}, arrays: map[*sem.Symbol]*array{}}
+}
+
+func (st *store) scalar(sym *sem.Symbol) *cell {
+	for s := st; s != nil; s = s.parent {
+		if c, ok := s.scalars[sym]; ok {
+			return c
+		}
+	}
+	// Allocate lazily at the outermost store that should own it: the
+	// current one (locals are pre-allocated; this covers only defensive
+	// cases).
+	c := &cell{v: zeroValue(sym.Type)}
+	st.scalars[sym] = c
+	return c
+}
+
+func (st *store) array(sym *sem.Symbol) *array {
+	for s := st; s != nil; s = s.parent {
+		if a, ok := s.arrays[sym]; ok {
+			return a
+		}
+	}
+	a := newArray(sym)
+	st.arrays[sym] = a
+	return a
+}
+
+func zeroValue(t lang.BasicType) value {
+	switch t {
+	case lang.TInteger:
+		return intV(0)
+	case lang.TReal:
+		return realV(0)
+	default:
+		return boolV(false)
+	}
+}
+
+func poisonValue(t lang.BasicType) value {
+	switch t {
+	case lang.TInteger:
+		return intV(poisonInt)
+	case lang.TReal:
+		return realV(math.NaN())
+	default:
+		return boolV(false)
+	}
+}
+
+// Interp executes a checked program.
+type Interp struct {
+	info *sem.Info
+	opts Options
+
+	globals    *store
+	mach       *machine.Machine
+	steps      uint64
+	cost       *uint64 // current cost sink
+	inParallel bool    // inside a parallel region (nested regions run serially)
+	loopCycles map[*lang.DoStmt]uint64
+	lastIdx    map[*array]int64 // locality model: last accessed flat index
+	// symCache memoizes name resolution per AST node: a node belongs to
+	// exactly one unit, so its symbol never changes.
+	identSyms map[*lang.Ident]*sem.Symbol
+	refSyms   map[*lang.ArrayRef]*sem.Symbol
+}
+
+// New builds an interpreter for a checked program.
+func New(info *sem.Info, opts Options) *Interp {
+	if opts.Machine == nil {
+		opts.Machine = machine.New(machine.Origin2000, 1)
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 2_000_000_000
+	}
+	in := &Interp{
+		info: info, opts: opts, mach: opts.Machine,
+		identSyms: map[*lang.Ident]*sem.Symbol{},
+		refSyms:   map[*lang.ArrayRef]*sem.Symbol{},
+	}
+	in.globals = newStore(nil)
+	// Pre-allocate globals.
+	for _, sym := range info.Globals {
+		switch sym.Kind {
+		case sem.ScalarSym:
+			in.globals.scalars[sym] = &cell{v: zeroValue(sym.Type)}
+		case sem.ArraySym:
+			in.globals.arrays[sym] = newArray(sym)
+		}
+	}
+	return in
+}
+
+// Machine returns the machine charged by this execution.
+func (in *Interp) Machine() *machine.Machine { return in.mach }
+
+// LoopCycles returns the per-loop cycle counts collected for the loops in
+// Options.TrackLoops.
+func (in *Interp) LoopCycles() map[*lang.DoStmt]uint64 { return in.loopCycles }
+
+// SetInt presets a global integer scalar before Run (input injection).
+func (in *Interp) SetInt(name string, v int64) error {
+	sym := in.info.Globals[name]
+	if sym == nil || sym.Kind != sem.ScalarSym {
+		return fmt.Errorf("interp: no global scalar %q", name)
+	}
+	in.globals.scalars[sym].v = convert(intV(v), sym.Type)
+	return nil
+}
+
+// SetReal presets a global real scalar.
+func (in *Interp) SetReal(name string, v float64) error {
+	sym := in.info.Globals[name]
+	if sym == nil || sym.Kind != sem.ScalarSym {
+		return fmt.Errorf("interp: no global scalar %q", name)
+	}
+	in.globals.scalars[sym].v = convert(realV(v), sym.Type)
+	return nil
+}
+
+// SetArrayInt presets a global integer array (values laid out in element
+// order).
+func (in *Interp) SetArrayInt(name string, vals []int64) error {
+	sym := in.info.Globals[name]
+	if sym == nil || sym.Kind != sem.ArraySym || sym.Type != lang.TInteger {
+		return fmt.Errorf("interp: no global integer array %q", name)
+	}
+	copy(in.globals.arrays[sym].ints, vals)
+	return nil
+}
+
+// SetArrayReal presets a global real array.
+func (in *Interp) SetArrayReal(name string, vals []float64) error {
+	sym := in.info.Globals[name]
+	if sym == nil || sym.Kind != sem.ArraySym || sym.Type != lang.TReal {
+		return fmt.Errorf("interp: no global real array %q", name)
+	}
+	copy(in.globals.arrays[sym].reals, vals)
+	return nil
+}
+
+// GlobalInt reads a global integer scalar after Run.
+func (in *Interp) GlobalInt(name string) (int64, error) {
+	sym := in.info.Globals[name]
+	if sym == nil || sym.Kind != sem.ScalarSym {
+		return 0, fmt.Errorf("interp: no global scalar %q", name)
+	}
+	return in.globals.scalars[sym].v.toInt(), nil
+}
+
+// GlobalReal reads a global real scalar after Run.
+func (in *Interp) GlobalReal(name string) (float64, error) {
+	sym := in.info.Globals[name]
+	if sym == nil || sym.Kind != sem.ScalarSym {
+		return 0, fmt.Errorf("interp: no global scalar %q", name)
+	}
+	return in.globals.scalars[sym].v.toReal(), nil
+}
+
+// GlobalArrayReal snapshots a global real array after Run.
+func (in *Interp) GlobalArrayReal(name string) ([]float64, error) {
+	sym := in.info.Globals[name]
+	if sym == nil || sym.Kind != sem.ArraySym || sym.Type != lang.TReal {
+		return nil, fmt.Errorf("interp: no global real array %q", name)
+	}
+	return append([]float64(nil), in.globals.arrays[sym].reals...), nil
+}
+
+// GlobalArrayInt snapshots a global integer array after Run.
+func (in *Interp) GlobalArrayInt(name string) ([]int64, error) {
+	sym := in.info.Globals[name]
+	if sym == nil || sym.Kind != sem.ArraySym || sym.Type != lang.TInteger {
+		return nil, fmt.Errorf("interp: no global integer array %q", name)
+	}
+	return append([]int64(nil), in.globals.arrays[sym].ints...), nil
+}
+
+// Run executes the main program. Cost is charged to the machine.
+func (in *Interp) Run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(*RuntimeError); ok {
+				err = re
+				return
+			}
+			panic(r)
+		}
+	}()
+	var serial uint64
+	in.cost = &serial
+	in.execUnit(in.info.Program.Main)
+	in.mach.AddSerial(serial)
+	return nil
+}
+
+func (in *Interp) fail(pos lang.Pos, format string, args ...any) {
+	panic(&RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (in *Interp) charge(c uint64) {
+	*in.cost += c
+	in.steps++
+	if in.steps > in.opts.MaxSteps {
+		in.fail(lang.Pos{}, "step limit exceeded (%d)", in.opts.MaxSteps)
+	}
+}
+
+// ex is the per-unit execution context.
+type ex struct {
+	in    *Interp
+	unit  *lang.Unit
+	scope *sem.Scope
+	store *store
+}
+
+// execUnit runs one unit with fresh locals.
+func (in *Interp) execUnit(u *lang.Unit) {
+	sc := in.info.Scope(u)
+	st := newStore(in.globals)
+	for _, sym := range sc.Locals {
+		switch sym.Kind {
+		case sem.ScalarSym:
+			st.scalars[sym] = &cell{v: zeroValue(sym.Type)}
+		case sem.ArraySym:
+			st.arrays[sym] = newArray(sym)
+		}
+	}
+	e := &ex{in: in, unit: u, scope: sc, store: st}
+	sig, lbl := e.runList(u.Body)
+	if sig == sigJump {
+		in.fail(lang.Pos{}, "unresolved jump to label %d", lbl)
+	}
+}
+
+type signal int
+
+const (
+	sigNone signal = iota
+	sigReturn
+	sigStop
+	sigJump
+)
+
+// runList executes a statement list, resolving jumps whose target label is
+// a direct member of the list.
+func (e *ex) runList(stmts []lang.Stmt) (signal, int) {
+	i := 0
+	for i < len(stmts) {
+		sig, lbl := e.runStmt(stmts[i])
+		if sig == sigJump {
+			found := -1
+			for j, s := range stmts {
+				if s.Label() == lbl {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				return sig, lbl // propagate to the enclosing list
+			}
+			i = found
+			continue
+		}
+		if sig != sigNone {
+			return sig, 0
+		}
+		i++
+	}
+	return sigNone, 0
+}
+
+func (e *ex) runStmt(s lang.Stmt) (signal, int) {
+	in := e.in
+	switch s := s.(type) {
+	case *lang.AssignStmt:
+		v := e.eval(s.Rhs)
+		e.assign(s.Lhs, v)
+		return sigNone, 0
+
+	case *lang.IfStmt:
+		in.charge(2)
+		if e.eval(s.Cond).b {
+			return e.runList(s.Then)
+		}
+		for i := range s.Elifs {
+			in.charge(2)
+			if e.eval(s.Elifs[i].Cond).b {
+				return e.runList(s.Elifs[i].Body)
+			}
+		}
+		if s.Else != nil {
+			return e.runList(s.Else)
+		}
+		return sigNone, 0
+
+	case *lang.DoStmt:
+		if in.opts.TrackLoops[s] && !(s.Parallel && in.mach.P > 1) {
+			// Per-loop attribution: measure committed machine time plus
+			// the pending serial sink, which stays monotonic even when
+			// nested parallel regions flush the sink.
+			before := in.mach.Time() + *in.cost
+			sig, lbl := e.runSerialDo(s)
+			if in.loopCycles == nil {
+				in.loopCycles = map[*lang.DoStmt]uint64{}
+			}
+			in.loopCycles[s] += in.mach.Time() + *in.cost - before
+			return sig, lbl
+		}
+		if s.Parallel && in.mach.P > 1 {
+			return e.runParallelDo(s)
+		}
+		return e.runSerialDo(s)
+
+	case *lang.WhileStmt:
+		for {
+			in.charge(2)
+			if !e.eval(s.Cond).b {
+				return sigNone, 0
+			}
+			sig, lbl := e.runList(s.Body)
+			if sig == sigJump {
+				return sig, lbl
+			}
+			if sig != sigNone {
+				return sig, 0
+			}
+		}
+
+	case *lang.CallStmt:
+		in.charge(12)
+		callee := in.info.Program.Unit(s.Name)
+		if callee == nil {
+			in.fail(s.Pos(), "call of unknown unit %q", s.Name)
+		}
+		in.execUnit(callee)
+		return sigNone, 0
+
+	case *lang.GotoStmt:
+		in.charge(1)
+		return sigJump, s.Target
+
+	case *lang.ContinueStmt:
+		in.charge(1)
+		return sigNone, 0
+
+	case *lang.ReturnStmt:
+		return sigReturn, 0
+
+	case *lang.StopStmt:
+		return sigStop, 0
+
+	case *lang.PrintStmt:
+		in.charge(20)
+		if in.opts.Out != nil {
+			for i, a := range s.Args {
+				if i > 0 {
+					fmt.Fprint(in.opts.Out, " ")
+				}
+				if str, ok := a.(*lang.StrLit); ok {
+					fmt.Fprint(in.opts.Out, str.Value)
+					continue
+				}
+				v := e.eval(a)
+				switch v.k {
+				case lang.TInteger:
+					fmt.Fprintf(in.opts.Out, "%d", v.i)
+				case lang.TReal:
+					fmt.Fprintf(in.opts.Out, "%g", v.r)
+				case lang.TLogical:
+					fmt.Fprintf(in.opts.Out, "%t", v.b)
+				}
+			}
+			fmt.Fprintln(in.opts.Out)
+		}
+		return sigNone, 0
+	}
+	in.fail(s.Pos(), "unknown statement %T", s)
+	return sigNone, 0
+}
+
+// doRange evaluates the loop bounds once.
+func (e *ex) doRange(s *lang.DoStmt) (lo, hi, step int64) {
+	lo = e.eval(s.Lo).toInt()
+	hi = e.eval(s.Hi).toInt()
+	step = 1
+	if s.Step != nil {
+		step = e.eval(s.Step).toInt()
+		if step == 0 {
+			e.in.fail(s.Pos(), "zero DO step")
+		}
+	}
+	return lo, hi, step
+}
+
+func (e *ex) runSerialDo(s *lang.DoStmt) (signal, int) {
+	in := e.in
+	lo, hi, step := e.doRange(s)
+	sym := e.scope.Lookup(s.Var.Name)
+	cellV := e.store.scalar(sym)
+	for v := lo; (step > 0 && v <= hi) || (step < 0 && v >= hi); v += step {
+		in.charge(3)
+		cellV.v = intV(v)
+		sig, lbl := e.runList(s.Body)
+		if sig == sigJump {
+			return sig, lbl
+		}
+		if sig != sigNone {
+			return sig, 0
+		}
+	}
+	// Fortran-style: the loop variable holds the first out-of-range value.
+	n := tripCount(lo, hi, step)
+	cellV.v = intV(lo + n*step)
+	return sigNone, 0
+}
+
+func tripCount(lo, hi, step int64) int64 {
+	if step > 0 {
+		if lo > hi {
+			return 0
+		}
+		return (hi-lo)/step + 1
+	}
+	if lo < hi {
+		return 0
+	}
+	return (lo-hi)/(-step) + 1
+}

@@ -1,0 +1,225 @@
+package interp
+
+import (
+	"math"
+
+	"repro/internal/lang"
+	"repro/internal/sem"
+)
+
+// runParallelDo executes a loop the parallelizer marked Parallel on the
+// simulated machine: iterations are block-partitioned over P virtual
+// processors; each chunk runs with fresh private copies of the loop's
+// Private variables and per-processor reduction partials; the region's
+// simulated time is the slowest chunk plus the machine's fork/join
+// overhead.
+func (e *ex) runParallelDo(s *lang.DoStmt) (signal, int) {
+	in := e.in
+	if in.inParallel {
+		return e.runSerialDo(s)
+	}
+	lo, hi, step := e.doRange(s)
+	n := tripCount(lo, hi, step)
+	varSym := e.scope.Lookup(s.Var.Name)
+	if n == 0 {
+		e.store.scalar(varSym).v = intV(lo)
+		return sigNone, 0
+	}
+
+	// Flush serial time accumulated so far.
+	in.mach.AddSerial(*in.cost)
+	*in.cost = 0
+
+	// Resolve private and reduction symbols.
+	var privScalars []*sem.Symbol
+	var privArrays []*sem.Symbol
+	for _, name := range s.Private {
+		sym := e.scope.Lookup(name)
+		if sym == nil {
+			in.fail(s.Pos(), "unknown private variable %q", name)
+		}
+		switch sym.Kind {
+		case sem.ScalarSym:
+			privScalars = append(privScalars, sym)
+		case sem.ArraySym:
+			privArrays = append(privArrays, sym)
+		}
+	}
+	type reduction struct {
+		sym *sem.Symbol
+		op  lang.Op
+	}
+	var reds []reduction
+	for _, r := range s.Reductions {
+		sym := e.scope.Lookup(r.Var)
+		if sym == nil || sym.Kind != sem.ScalarSym {
+			in.fail(s.Pos(), "unknown reduction variable %q", r.Var)
+		}
+		reds = append(reds, reduction{sym: sym, op: r.Op})
+	}
+
+	// Partition [0, n) into P contiguous chunks.
+	P := in.mach.P
+	if int64(P) > n {
+		P = int(n)
+	}
+	base := n / int64(P)
+	rem := n % int64(P)
+	type chunk struct{ startIdx, endIdx int64 } // [start, end)
+	chunks := make([]chunk, P)
+	at := int64(0)
+	for c := 0; c < P; c++ {
+		size := base
+		if int64(c) < rem {
+			size++
+		}
+		chunks[c] = chunk{at, at + size}
+		at += size
+	}
+
+	order := make([]int, P)
+	for i := range order {
+		order[i] = i
+	}
+	if in.opts.Schedule == Reverse {
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+
+	costs := make([]uint64, P)
+	partials := make([][]value, P)
+	var lastPriv *store // private frame of the chunk owning the final iteration
+
+	savedCost := in.cost
+	in.inParallel = true
+	for _, c := range order {
+		var chunkCost uint64
+		in.cost = &chunkCost
+
+		over := newStore(e.store)
+		over.scalars[varSym] = &cell{}
+		for _, sym := range privScalars {
+			v := zeroValue(sym.Type)
+			if in.opts.Poison {
+				v = poisonValue(sym.Type)
+			}
+			over.scalars[sym] = &cell{v: v}
+		}
+		for _, sym := range privArrays {
+			a := newArray(sym)
+			if in.opts.Poison {
+				a.poison()
+			}
+			over.arrays[sym] = a
+		}
+		for _, r := range reds {
+			over.scalars[r.sym] = &cell{v: reductionIdentity(r.op, r.sym.Type)}
+		}
+
+		ce := &ex{in: in, unit: e.unit, scope: e.scope, store: over}
+		for idx := chunks[c].startIdx; idx < chunks[c].endIdx; idx++ {
+			in.charge(3)
+			over.scalars[varSym].v = intV(lo + idx*step)
+			sig, _ := ce.runList(s.Body)
+			if sig != sigNone {
+				in.fail(s.Pos(), "control left a parallel loop body")
+			}
+		}
+
+		ps := make([]value, len(reds))
+		for i, r := range reds {
+			ps[i] = over.scalars[r.sym].v
+		}
+		partials[c] = ps
+		costs[c] = chunkCost
+		if chunks[c].endIdx == n {
+			lastPriv = over
+		}
+	}
+	in.inParallel = false
+	in.cost = savedCost
+	in.mach.AddParallel(costs)
+
+	// Combine reductions in ascending processor order (deterministic).
+	for i, r := range reds {
+		shared := e.store.scalar(r.sym)
+		acc := shared.v
+		for c := 0; c < P; c++ {
+			acc = combine(r.op, acc, partials[c][i])
+		}
+		shared.v = acc
+	}
+
+	// Copy out the final iteration's private values (live-out semantics).
+	if lastPriv != nil {
+		for _, sym := range privScalars {
+			e.store.scalar(sym).v = lastPriv.scalars[sym].v
+		}
+		for _, sym := range privArrays {
+			shared := e.store.array(sym)
+			private := lastPriv.arrays[sym]
+			copy(shared.ints, private.ints)
+			copy(shared.reals, private.reals)
+			copy(shared.bools, private.bools)
+		}
+	}
+	e.store.scalar(varSym).v = intV(lo + n*step)
+	return sigNone, 0
+}
+
+func reductionIdentity(op lang.Op, t lang.BasicType) value {
+	switch op {
+	case lang.OpAdd:
+		return zeroValue(t)
+	case lang.OpMul:
+		if t == lang.TInteger {
+			return intV(1)
+		}
+		return realV(1)
+	case lang.OpLt: // min
+		if t == lang.TInteger {
+			return intV(math.MaxInt64)
+		}
+		return realV(math.Inf(1))
+	case lang.OpGt: // max
+		if t == lang.TInteger {
+			return intV(math.MinInt64)
+		}
+		return realV(math.Inf(-1))
+	}
+	return zeroValue(t)
+}
+
+func combine(op lang.Op, a, b value) value {
+	if a.k == lang.TInteger && b.k == lang.TInteger {
+		switch op {
+		case lang.OpAdd:
+			return intV(a.i + b.i)
+		case lang.OpMul:
+			return intV(a.i * b.i)
+		case lang.OpLt:
+			if b.i < a.i {
+				return b
+			}
+			return a
+		case lang.OpGt:
+			if b.i > a.i {
+				return b
+			}
+			return a
+		}
+	}
+	af, bf := a.toReal(), b.toReal()
+	switch op {
+	case lang.OpAdd:
+		return realV(af + bf)
+	case lang.OpMul:
+		return realV(af * bf)
+	case lang.OpLt:
+		return realV(math.Min(af, bf))
+	case lang.OpGt:
+		return realV(math.Max(af, bf))
+	}
+	return a
+}

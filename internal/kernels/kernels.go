@@ -1,0 +1,473 @@
+// Package kernels provides the five benchmark programs of the paper's
+// evaluation (§5.2, Tables 2–3, Fig. 16), rewritten in F-lite around the
+// exact loop nests the paper analyzes:
+//
+//	TRFD   — INTGRL/do140: triangular index array ia(i)=i*(i-1)/2 with a
+//	         closed-form value (CFV), dependences disproved via range-test
+//	         separation after substitution; plus a dominant affine phase
+//	         (the paper: the irregular loop is only ~5% of sequential
+//	         time, Table 3).
+//	DYFESM — SOLXDD: block solve over offset/length arrays pptr/iblen with
+//	         a closed-form distance (CFD), the offset–length test; tiny
+//	         data set, so parallelization overhead dominates (Fig. 16(e)).
+//	         The index arrays are defined in one subroutine and used in
+//	         another, exercising the interprocedural query propagation.
+//	BDNA   — ACTFOR/do240: per-iteration index gathering (do236 is the
+//	         consecutively-written helper loop) and indirect reads bounded
+//	         by closed-form bounds (CFB) for privatization.
+//	P3M    — PP/do100: per-cell scratch computation, gather of near
+//	         particles, indirect-force accumulation (CFB + PRIV).
+//	TREE   — ACCEL/do10: Barnes–Hut acceleration with an explicit array
+//	         stack walked per body (STACK privatization).
+//
+// The original sources (Perfect Benchmarks, NCSA P3M, Hawaii TREE) are not
+// redistributable here; these kernels reproduce the documented access
+// patterns so the analyses face the same code shapes. Input data is
+// synthesised in-program with deterministic integer arithmetic.
+//
+// Small subroutines are auto-inlined by the pipeline (§5.1.1); subroutines
+// ending in an explicit RETURN stay out of line, keeping the
+// interprocedural part of the property analysis exercised, exactly as the
+// paper observes ("because not all procedures are inlined, the
+// interprocedural part ... is still required and proved useful").
+package kernels
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kernel is one benchmark program.
+type Kernel struct {
+	// Name is the paper's program name (lower case).
+	Name string
+	// Source is the F-lite program text.
+	Source string
+	// TargetLoop is a substring identifying the Table 3 loop in the
+	// parallelizer's loop names (each kernel gives its target loop a
+	// unique index variable).
+	TargetLoop string
+	// Technique is the property/test combination Table 3 lists.
+	Technique string
+	// CheckVars lists global scalars whose final values identify a
+	// correct execution (serial vs parallel comparison).
+	CheckVars []string
+}
+
+// Size scales a kernel: Small for tests, Default for the benchmarks.
+type Size int
+
+// Sizes.
+const (
+	Small Size = iota
+	Default
+	Large
+)
+
+// All returns the five kernels at the given size.
+func All(size Size) []*Kernel {
+	return []*Kernel{
+		TRFD(size),
+		DYFESM(size),
+		BDNA(size),
+		P3M(size),
+		TREE(size),
+	}
+}
+
+// ByName returns one kernel by its paper name.
+func ByName(name string, size Size) (*Kernel, error) {
+	for _, k := range All(size) {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("kernels: unknown kernel %q", name)
+}
+
+func pick(size Size, small, def, large int) int {
+	switch size {
+	case Small:
+		return small
+	case Large:
+		return large
+	default:
+		return def
+	}
+}
+
+func trim(src string) string { return strings.TrimSpace(src) + "\n" }
+
+// TRFD builds the TRFD kernel: a dominant affine transform phase plus the
+// irregular INTGRL/do140 loop over the triangular offset array. The phases
+// live in small subroutines that the pipeline auto-inlines.
+func TRFD(size Size) *Kernel {
+	n := pick(size, 8, 48, 80)
+	reps := pick(size, 2, 6, 10)
+	nt := n * (n + 1) / 2
+	src := fmt.Sprintf(`
+program trfd
+  param norb = %d
+  param ntri = %d
+  param reps = %d
+  integer ia(norb)
+  real xrsiq(ntri), v(norb), xij(norb, norb)
+  integer i, j, r, iq
+  real checksum
+
+  ! Triangular offsets: ia(i) = i*(i-1)/2 (closed-form value).
+  do i = 1, norb
+    ia(i) = i * (i - 1) / 2
+  end do
+  do i = 1, norb
+    v(i) = real(mod(i * 7, 11)) + 1.0
+  end do
+
+  do r = 1, reps
+    call olda
+    call intgrl
+  end do
+
+  checksum = 0.0
+  do i = 1, ntri
+    checksum = checksum + xrsiq(i)
+  end do
+  do i = 1, norb
+    do j = 1, norb
+      checksum = checksum + xij(i, j) * 0.001
+    end do
+  end do
+  print "trfd checksum", checksum
+end
+
+subroutine olda
+  ! Dominant affine phase: parallel for every configuration. The extra kk
+  ! sweep keeps INTGRL at roughly the paper's ~5%% share of sequential
+  ! time (Table 3).
+  integer i, j, kk
+  do i = 1, norb
+    do j = 1, norb
+      xij(i, j) = real(i) * 0.5 + real(j) * 0.25 + real(r)
+      do kk = 1, 12
+        xij(i, j) = xij(i, j) + v(mod(kk + i, norb) + 1) * 0.125
+      end do
+    end do
+  end do
+end
+
+subroutine intgrl
+  ! INTGRL/do140: irregular via ia() — needs CFV + the range test.
+  integer j
+  do iq = 1, norb
+    do j = 1, iq
+      xrsiq(ia(iq) + j) = xrsiq(ia(iq) + j) + v(j) * real(r)
+    end do
+  end do
+end
+`, n, nt, reps)
+	return &Kernel{
+		Name:       "trfd",
+		Source:     trim(src),
+		TargetLoop: "do_iq",
+		Technique:  "CFV+DD",
+		CheckVars:  []string{"checksum"},
+	}
+}
+
+// DYFESM builds the DYFESM kernel: block operations over the offset/length
+// arrays pptr/iblen. setup and solxdd end in RETURN so they stay out of
+// line: the closed-form-distance query must cross unit boundaries.
+func DYFESM(size Size) *Kernel {
+	nblk := pick(size, 6, 16, 32)
+	maxb := 5
+	smax := nblk*maxb + 1
+	reps := pick(size, 3, 12, 24)
+	src := fmt.Sprintf(`
+program dyfesm
+  param nblk = %d
+  param smax = %d
+  param reps = %d
+  integer pptr(nblk + 1), iblen(nblk)
+  real x(smax), b(smax), a(smax)
+  integer i, r
+  real checksum
+
+  call setup
+  do r = 1, reps
+    call solxdd
+    call hop
+  end do
+
+  checksum = 0.0
+  do i = 1, smax
+    checksum = checksum + x(i)
+  end do
+  print "dyfesm checksum", checksum
+end
+
+subroutine setup
+  integer i
+  ! Block sizes 2..5 and their prefix offsets (closed-form distance).
+  do i = 1, nblk
+    iblen(i) = 2 + mod(i, 4)
+  end do
+  pptr(1) = 1
+  do i = 1, nblk
+    pptr(i + 1) = pptr(i) + iblen(i)
+  end do
+  do i = 1, smax
+    b(i) = real(mod(i * 3, 7)) + 1.0
+    a(i) = real(mod(i * 5, 4)) * 0.125
+  end do
+  return
+end
+
+subroutine solxdd
+  ! SOLXDD: per-block forward solve — independent across blocks, but only
+  ! the offset-length test can prove it (Fig. 13).
+  integer ib, j, kk
+  do ib = 1, nblk
+    do j = 1, iblen(ib)
+      x(pptr(ib) + j - 1) = b(pptr(ib) + j - 1) * 0.5 + real(r)
+    end do
+    do j = 2, iblen(ib)
+      do kk = 1, j - 1
+        x(pptr(ib) + j - 1) = x(pptr(ib) + j - 1) - a(pptr(ib) + kk - 1) * x(pptr(ib) + kk - 1)
+      end do
+    end do
+  end do
+  return
+end
+
+subroutine hop
+  ! HOP/do20-like phase: a second block-wise sweep over the same
+  ! offset/length layout (Table 3 lists it among DYFESM's newly parallel
+  ! loops), also provable only by the offset-length test.
+  integer ih, j
+  do ih = 1, nblk
+    do j = 1, iblen(ih)
+      x(pptr(ih) + j - 1) = x(pptr(ih) + j - 1) * 0.9375 + a(pptr(ih) + j - 1)
+    end do
+  end do
+  return
+end
+`, nblk, smax, reps)
+	return &Kernel{
+		Name:       "dyfesm",
+		Source:     trim(src),
+		TargetLoop: "do_ib",
+		Technique:  "CFD+DD",
+		CheckVars:  []string{"checksum"},
+	}
+}
+
+// BDNA builds the BDNA kernel: ACTFOR/do240 with the per-iteration
+// gathering loop do236 (consecutively written) and indirect reads
+// privatized via closed-form bounds.
+func BDNA(size Size) *Kernel {
+	n := pick(size, 10, 48, 96)
+	m := pick(size, 24, 160, 320)
+	src := fmt.Sprintf(`
+program bdna
+  param nmol = %d
+  param natom = %d
+  integer ind(natom)
+  real xdt(natom), ydt(natom), fmol(nmol)
+  integer i, k, q
+  real cutoff, checksum
+
+  cutoff = 4.0
+  do i = 1, natom
+    ydt(i) = real(mod(i * 13, 9))
+  end do
+
+  call actfor
+
+  checksum = 0.0
+  do i = 1, nmol
+    checksum = checksum + fmol(i)
+  end do
+  print "bdna checksum", checksum
+end
+
+subroutine actfor
+  integer i, j
+  real e
+  ! ACTFOR/do240: parallel only with CW + CFB privatization.
+  do k = 1, nmol
+    do i = 1, natom
+      xdt(i) = ydt(i) + real(mod(k + i, 5))
+    end do
+    ! ACTFOR/do236: gather indices of close atoms (consecutively written).
+    q = 0
+    do i = 1, natom
+      if (xdt(i) < cutoff) then
+        q = q + 1
+        ind(q) = i
+      end if
+    end do
+    ! Indirect accumulation: reads xdt(ind(j)), bounds [1:natom].
+    e = 0.0
+    do j = 1, q
+      e = e + 1.0 / (xdt(ind(j)) + 1.0)
+    end do
+    fmol(k) = e
+  end do
+end
+`, n, m)
+	return &Kernel{
+		Name:       "bdna",
+		Source:     trim(src),
+		TargetLoop: "do_k",
+		Technique:  "CFB+PRIV",
+		CheckVars:  []string{"checksum"},
+	}
+}
+
+// P3M builds the particle–particle kernel: per-cell scratch arrays, a
+// gather of near particles and an indirect accumulation (PP/do100).
+func P3M(size Size) *Kernel {
+	ncell := pick(size, 8, 32, 64)
+	np := pick(size, 32, 256, 512)
+	src := fmt.Sprintf(`
+program p3m
+  param ncell = %d
+  param np = %d
+  integer jpr(np)
+  real x0(np), r2(np), px(np), fcell(ncell)
+  integer i, k, q
+  real rcut, checksum
+
+  rcut = 6.0
+  do i = 1, np
+    px(i) = real(mod(i * 17, 23)) * 0.5
+  end do
+
+  call pp
+
+  checksum = 0.0
+  do i = 1, ncell
+    checksum = checksum + fcell(i)
+  end do
+  print "p3m checksum", checksum
+end
+
+subroutine pp
+  integer j
+  real fsum
+  ! PP/do100: per-cell particle-particle interactions.
+  do k = 1, ncell
+    do j = 1, np
+      x0(j) = px(j) - real(mod(k, 7))
+      r2(j) = x0(j) * x0(j) + 0.25
+    end do
+    q = 0
+    do j = 1, np
+      if (r2(j) < rcut) then
+        q = q + 1
+        jpr(q) = j
+      end if
+    end do
+    fsum = 0.0
+    do j = 1, q
+      fsum = fsum + x0(jpr(j)) / r2(jpr(j))
+    end do
+    fcell(k) = fsum
+  end do
+end
+`, ncell, np)
+	return &Kernel{
+		Name:       "p3m",
+		Source:     trim(src),
+		TargetLoop: "do_k",
+		Technique:  "CFB+PRIV",
+		CheckVars:  []string{"checksum"},
+	}
+}
+
+// TREE builds the Barnes–Hut kernel: per-body tree walks with an explicit
+// array stack (ACCEL/do10; STACK privatization). The tree is a complete
+// binary tree with bodies interacting against its leaves.
+func TREE(size Size) *Kernel {
+	depth := pick(size, 5, 9, 11)
+	nodes := 1<<uint(depth) - 1
+	nbody := pick(size, 16, 128, 256)
+	src := fmt.Sprintf(`
+program tree
+  param nnode = %d
+  param nbody = %d
+  param depth = %d
+  integer stak(depth * 2 + 2)
+  integer left(nnode), right(nnode)
+  real mass(nnode), pos(nnode), bpos(nbody), acc(nbody)
+  integer i, pbase, rootn
+  real checksum
+
+  ! Complete binary tree: node i has children 2i and 2i+1. The root id
+  ! and the stack base are recorded during construction (runtime data,
+  ! like the COMMON block of the original treecode).
+  do i = 1, nnode
+    if (2 * i + 1 <= nnode) then
+      left(i) = 2 * i
+      right(i) = 2 * i + 1
+    else
+      left(i) = 0
+      right(i) = 0
+    end if
+    mass(i) = real(mod(i * 3, 5)) + 1.0
+    pos(i) = real(mod(i * 11, 17)) * 0.3
+    if (i == 1) then
+      rootn = i
+      pbase = i - 1
+    end if
+  end do
+  do i = 1, nbody
+    bpos(i) = real(mod(i * 29, 31)) * 0.2
+  end do
+
+  call accel
+
+  checksum = 0.0
+  do i = 1, nbody
+    checksum = checksum + acc(i)
+  end do
+  print "tree checksum", checksum
+end
+
+subroutine accel
+  integer k, p, nodeid
+  real ax, d
+  ! ACCEL/do10: walk the tree with an explicit stack, one walk per body.
+  ! The stack base and root id are runtime data (set by the caller), as in
+  ! the original treecode where they come from COMMON.
+  do k = 1, nbody
+    p = pbase
+    p = p + 1
+    stak(p) = rootn
+    ax = 0.0
+    do while (p >= 1)
+      nodeid = stak(p)
+      p = p - 1
+      if (left(nodeid) == 0) then
+        d = pos(nodeid) - bpos(k)
+        ax = ax + mass(nodeid) * d / (d * d + 1.0)
+      else
+        p = p + 1
+        stak(p) = left(nodeid)
+        p = p + 1
+        stak(p) = right(nodeid)
+      end if
+    end do
+    acc(k) = ax
+  end do
+  return
+end
+`, nodes, nbody, depth)
+	return &Kernel{
+		Name:       "tree",
+		Source:     trim(src),
+		TargetLoop: "do_k",
+		Technique:  "STACK",
+		CheckVars:  []string{"checksum"},
+	}
+}

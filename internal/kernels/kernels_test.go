@@ -1,0 +1,211 @@
+package kernels
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/machine"
+	"repro/internal/parallel"
+	"repro/internal/pipeline"
+)
+
+// compileKernel compiles one kernel through the full pipeline.
+func compileKernel(t *testing.T, k *Kernel, mode parallel.Mode) *pipeline.Result {
+	t.Helper()
+	res, err := pipeline.Compile(k.Source, mode, pipeline.Reorganized)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", k.Name, err)
+	}
+	return res
+}
+
+func targetReport(res *pipeline.Result, k *Kernel) *parallel.LoopReport {
+	for _, r := range res.Reports {
+		if strings.Contains(r.Name, k.TargetLoop) {
+			return r
+		}
+	}
+	return nil
+}
+
+func TestKernelsCompile(t *testing.T) {
+	for _, k := range All(Small) {
+		t.Run(k.Name, func(t *testing.T) {
+			res := compileKernel(t, k, parallel.Full)
+			if len(res.Reports) == 0 {
+				t.Fatal("no loops analyzed")
+			}
+		})
+	}
+}
+
+func TestTargetLoopsParallelOnlyWithIAA(t *testing.T) {
+	for _, k := range All(Small) {
+		t.Run(k.Name, func(t *testing.T) {
+			full := compileKernel(t, k, parallel.Full)
+			rFull := targetReport(full, k)
+			if rFull == nil {
+				t.Fatalf("target loop %q not found; loops: %v", k.TargetLoop, names(full))
+			}
+			if !rFull.Parallel {
+				t.Fatalf("target loop not parallel with IAA: %v", rFull.Blockers)
+			}
+
+			no := compileKernel(t, k, parallel.NoIAA)
+			rNo := targetReport(no, k)
+			if rNo == nil {
+				t.Fatalf("target loop missing in NoIAA compile; loops: %v", names(no))
+			}
+			if rNo.Parallel {
+				t.Fatalf("%s target loop must stay serial without IAA", k.Name)
+			}
+
+			base := compileKernel(t, k, parallel.Baseline)
+			rBase := targetReport(base, k)
+			if rBase != nil && rBase.Parallel {
+				t.Fatalf("%s target loop must stay serial under the baseline", k.Name)
+			}
+		})
+	}
+}
+
+func names(res *pipeline.Result) []string {
+	var out []string
+	for _, r := range res.Reports {
+		status := "serial"
+		if r.Parallel {
+			status = "par"
+		}
+		out = append(out, r.Name+"("+status+")")
+	}
+	return out
+}
+
+func TestExpectedTechniques(t *testing.T) {
+	expect := map[string]func(r *parallel.LoopReport) bool{
+		"trfd": func(r *parallel.LoopReport) bool {
+			return r.Tests["xrsiq"] == "closed-form"
+		},
+		"dyfesm": func(r *parallel.LoopReport) bool {
+			return r.Tests["x"] == "offset-length"
+		},
+		"bdna": func(r *parallel.LoopReport) bool {
+			return r.PrivReasons["xdt"] == "indirect-bounds" && r.PrivReasons["ind"] == "consecutively-written"
+		},
+		"p3m": func(r *parallel.LoopReport) bool {
+			return r.PrivReasons["x0"] == "indirect-bounds" && r.PrivReasons["jpr"] == "consecutively-written"
+		},
+		"tree": func(r *parallel.LoopReport) bool {
+			return r.PrivReasons["stak"] == "stack"
+		},
+	}
+	for _, k := range All(Small) {
+		t.Run(k.Name, func(t *testing.T) {
+			res := compileKernel(t, k, parallel.Full)
+			r := targetReport(res, k)
+			if r == nil || !r.Parallel {
+				t.Fatalf("target not parallel: %+v", r)
+			}
+			if !expect[k.Name](r) {
+				t.Errorf("unexpected evidence: tests=%v privReasons=%v props=%v",
+					r.Tests, r.PrivReasons, r.Properties)
+			}
+		})
+	}
+}
+
+func TestKernelsParallelCorrectness(t *testing.T) {
+	for _, k := range All(Small) {
+		t.Run(k.Name, func(t *testing.T) {
+			res := compileKernel(t, k, parallel.Full)
+
+			run := func(p int, sched interp.Schedule) map[string]float64 {
+				in := interp.New(res.Info, interp.Options{
+					Machine:  machine.New(machine.Origin2000, p),
+					Schedule: sched,
+					Poison:   true,
+				})
+				if err := in.Run(); err != nil {
+					t.Fatalf("run p=%d: %v", p, err)
+				}
+				out := map[string]float64{}
+				for _, v := range k.CheckVars {
+					val, err := in.GlobalReal(v)
+					if err != nil {
+						t.Fatalf("checkvar %s: %v", v, err)
+					}
+					out[v] = val
+				}
+				return out
+			}
+
+			serial := run(1, interp.Forward)
+			for _, p := range []int{2, 4, 8} {
+				for _, sched := range []interp.Schedule{interp.Forward, interp.Reverse} {
+					par := run(p, sched)
+					for v, want := range serial {
+						got := par[v]
+						if math.IsNaN(got) {
+							t.Fatalf("p=%d sched=%d: %s is NaN (bad privatization)", p, sched, v)
+						}
+						if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+							t.Errorf("p=%d sched=%d: %s = %v, want %v", p, sched, v, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestKernelsSpeedupShape(t *testing.T) {
+	// At default sizes, the four big programs must speed up with
+	// processors; DYFESM (tiny data) must not scale on the Origin-like
+	// profile — the Fig. 16 shape.
+	if testing.Short() {
+		t.Skip("default-size kernels in -short mode")
+	}
+	for _, k := range All(Default) {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			res := compileKernel(t, k, parallel.Full)
+			time := func(p int) uint64 {
+				in := interp.New(res.Info, interp.Options{Machine: machine.New(machine.Origin2000, p)})
+				if err := in.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return in.Machine().Time()
+			}
+			t1 := time(1)
+			t8 := time(8)
+			speedup := float64(t1) / float64(t8)
+			switch k.Name {
+			case "dyfesm":
+				if speedup > 1.5 {
+					t.Errorf("dyfesm should barely scale (tiny data), got %.2fx", speedup)
+				}
+			default:
+				if speedup < 1.5 {
+					t.Errorf("%s should speed up at 8 processors, got %.2fx", k.Name, speedup)
+				}
+			}
+		})
+	}
+}
+
+func TestLargeKernelsCompile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large kernels in -short mode")
+	}
+	for _, k := range All(Large) {
+		t.Run(k.Name, func(t *testing.T) {
+			res := compileKernel(t, k, parallel.Full)
+			r := targetReport(res, k)
+			if r == nil || !r.Parallel {
+				t.Fatalf("target loop not parallel at Large size: %+v", r)
+			}
+		})
+	}
+}

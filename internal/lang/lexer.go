@@ -1,0 +1,293 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// A SyntaxError describes a lexical or parse error with its source position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
+
+// Lexer splits F-lite source text into tokens. Newlines are significant (they
+// terminate statements) and are reported as NEWLINE tokens; runs of blank
+// lines collapse into one NEWLINE. Comments run from '!' to end of line.
+type Lexer struct {
+	src     string
+	off     int
+	line    int
+	col     int
+	lastSig bool // last emitted token was significant (suppress leading NEWLINEs)
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token. At end of input it returns EOF forever.
+func (l *Lexer) Next() (Token, error) {
+	for {
+		// Skip horizontal whitespace and comments; handle line
+		// continuation with '&' at end of line.
+		for l.off < len(l.src) {
+			c := l.peek()
+			if c == ' ' || c == '\t' || c == '\r' {
+				l.advance()
+				continue
+			}
+			if c == '!' && l.peek2() != '=' {
+				for l.off < len(l.src) && l.peek() != '\n' {
+					l.advance()
+				}
+				continue
+			}
+			if c == '&' {
+				// Continuation: consume '&', optional spaces/comment, then the newline.
+				save := l.off
+				saveLine, saveCol := l.line, l.col
+				l.advance()
+				for l.off < len(l.src) && (l.peek() == ' ' || l.peek() == '\t' || l.peek() == '\r') {
+					l.advance()
+				}
+				if l.peek() == '!' {
+					for l.off < len(l.src) && l.peek() != '\n' {
+						l.advance()
+					}
+				}
+				if l.peek() == '\n' {
+					l.advance()
+					continue
+				}
+				// '&' not followed by newline: restore and report below.
+				l.off, l.line, l.col = save, saveLine, saveCol
+				p := l.pos()
+				l.advance()
+				return Token{}, &SyntaxError{p, "'&' continuation must end a line"}
+			}
+			break
+		}
+
+		if l.off >= len(l.src) {
+			return Token{Kind: EOF, Pos: l.pos()}, nil
+		}
+
+		p := l.pos()
+		c := l.peek()
+
+		if c == '\n' {
+			l.advance()
+			if !l.lastSig {
+				continue // collapse blank lines / leading newlines
+			}
+			l.lastSig = false
+			return Token{Kind: NEWLINE, Pos: p}, nil
+		}
+
+		l.lastSig = true
+		switch {
+		case isIdentStart(c):
+			start := l.off
+			for l.off < len(l.src) && isIdentPart(l.peek()) {
+				l.advance()
+			}
+			text := strings.ToLower(l.src[start:l.off])
+			kind := LookupKeyword(text)
+			// "end do" and "end if" and "else if" are two-word forms;
+			// the parser handles them by peeking, so nothing special here.
+			if kind == IDENT {
+				return Token{Kind: IDENT, Pos: p, Text: text}, nil
+			}
+			return Token{Kind: kind, Pos: p, Text: text}, nil
+
+		case isDigit(c) || (c == '.' && isDigit(l.peek2())):
+			return l.number(p)
+
+		case c == '"':
+			return l.str(p)
+		}
+
+		l.advance()
+		switch c {
+		case '+':
+			return Token{Kind: PLUS, Pos: p}, nil
+		case '-':
+			return Token{Kind: MINUS, Pos: p}, nil
+		case '*':
+			if l.peek() == '*' {
+				l.advance()
+				return Token{Kind: POW, Pos: p}, nil
+			}
+			return Token{Kind: STAR, Pos: p}, nil
+		case '/':
+			if l.peek() == '=' {
+				l.advance()
+				return Token{Kind: NE, Pos: p}, nil // Fortran-style /=
+			}
+			return Token{Kind: SLASH, Pos: p}, nil
+		case '=':
+			if l.peek() == '=' {
+				l.advance()
+				return Token{Kind: EQ, Pos: p}, nil
+			}
+			return Token{Kind: ASSIGN, Pos: p}, nil
+		case '!':
+			// Only reachable as "!=" ('!' alone starts a comment).
+			if l.peek() == '=' {
+				l.advance()
+				return Token{Kind: NE, Pos: p}, nil
+			}
+		case '<':
+			if l.peek() == '=' {
+				l.advance()
+				return Token{Kind: LE, Pos: p}, nil
+			}
+			return Token{Kind: LT, Pos: p}, nil
+		case '>':
+			if l.peek() == '=' {
+				l.advance()
+				return Token{Kind: GE, Pos: p}, nil
+			}
+			return Token{Kind: GT, Pos: p}, nil
+		case '(':
+			return Token{Kind: LPAREN, Pos: p}, nil
+		case ')':
+			return Token{Kind: RPAREN, Pos: p}, nil
+		case ',':
+			return Token{Kind: COMMA, Pos: p}, nil
+		case ':':
+			return Token{Kind: COLON, Pos: p}, nil
+		case ';':
+			return Token{Kind: SEMI, Pos: p}, nil
+		}
+		return Token{}, &SyntaxError{p, fmt.Sprintf("unexpected character %q", c)}
+	}
+}
+
+func (l *Lexer) number(p Pos) (Token, error) {
+	start := l.off
+	isReal := false
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		isReal = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	} else if l.peek() == '.' && !isIdentStart(l.peek2()) && l.peek2() != '.' {
+		// trailing dot as in "1." — treat as real if not followed by ident
+		isReal = true
+		l.advance()
+	}
+	if c := l.peek(); c == 'e' || c == 'E' || c == 'd' || c == 'D' {
+		// exponent must be followed by digits or sign+digits
+		j := l.off + 1
+		if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+			j++
+		}
+		if j < len(l.src) && isDigit(l.src[j]) {
+			isReal = true
+			l.advance() // e
+			if l.peek() == '+' || l.peek() == '-' {
+				l.advance()
+			}
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+	}
+	text := strings.Map(func(r rune) rune {
+		if r == 'd' || r == 'D' {
+			return 'e'
+		}
+		return r
+	}, l.src[start:l.off])
+	if isReal {
+		return Token{Kind: REAL, Pos: p, Text: text}, nil
+	}
+	return Token{Kind: INT, Pos: p, Text: text}, nil
+}
+
+func (l *Lexer) str(p Pos) (Token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.off >= len(l.src) || l.peek() == '\n' {
+			return Token{}, &SyntaxError{p, "unterminated string literal"}
+		}
+		c := l.advance()
+		if c == '"' {
+			if l.peek() == '"' { // doubled quote escapes a quote
+				l.advance()
+				sb.WriteByte('"')
+				continue
+			}
+			return Token{Kind: STRING, Pos: p, Text: sb.String()}, nil
+		}
+		sb.WriteByte(c)
+	}
+}
+
+// Tokenize scans all of src and returns the token stream (excluding EOF).
+// It is a convenience for tests and tools.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return toks, err
+		}
+		if t.Kind == EOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

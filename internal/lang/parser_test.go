@@ -1,0 +1,305 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const figure1a = `
+program fig1a
+  integer n, m, k, i, j, p
+  integer link(100, 100), cond(100, 100)
+  real x(100), y(100), z(100, 100)
+  do k = 1, n
+    p = 0
+    i = link(1, k)
+    do while (i != 0)
+      p = p + 1
+      x(p) = y(i)             ! (1)
+      i = link(i, k)
+      if (cond(k, i) != 0) then
+        if (p >= 1) then
+          x(p) = y(i)         ! (2)
+        end if
+      end if
+    end do
+    do j = 1, p
+      z(k, j) = x(j)          ! (3)
+    end do
+  end do
+end
+`
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return p
+}
+
+func TestParseFigure1a(t *testing.T) {
+	p := mustParse(t, figure1a)
+	if p.Main == nil || p.Main.Name != "fig1a" {
+		t.Fatalf("main unit missing: %+v", p)
+	}
+	if len(p.Main.Decls) != 11 {
+		t.Errorf("got %d decls, want 11", len(p.Main.Decls))
+	}
+	if len(p.Main.Body) != 1 {
+		t.Fatalf("got %d top statements, want 1 (the do k loop)", len(p.Main.Body))
+	}
+	dok, ok := p.Main.Body[0].(*DoStmt)
+	if !ok {
+		t.Fatalf("top statement is %T, want *DoStmt", p.Main.Body[0])
+	}
+	if dok.Var.Name != "k" {
+		t.Errorf("loop var %q, want k", dok.Var.Name)
+	}
+	// body: p=0, i=link(1,k), while, do j
+	if len(dok.Body) != 4 {
+		t.Fatalf("do k body has %d statements, want 4", len(dok.Body))
+	}
+	w, ok := dok.Body[2].(*WhileStmt)
+	if !ok {
+		t.Fatalf("expected while at index 2, got %T", dok.Body[2])
+	}
+	if len(w.Body) != 4 {
+		t.Errorf("while body has %d statements, want 4", len(w.Body))
+	}
+}
+
+func TestParseSubroutinesAndCalls(t *testing.T) {
+	src := `
+program main
+  integer n
+  n = 3
+  call setup
+  call work
+end
+
+subroutine setup
+  integer i
+  i = 1
+end
+
+subroutine work
+  return
+end
+`
+	p := mustParse(t, src)
+	if len(p.Subs) != 2 {
+		t.Fatalf("got %d subroutines, want 2", len(p.Subs))
+	}
+	if p.Unit("setup") == nil || p.Unit("work") == nil || p.Unit("main") == nil {
+		t.Error("Unit lookup failed")
+	}
+	if p.Unit("nosuch") != nil {
+		t.Error("Unit lookup for missing unit should be nil")
+	}
+	cs, ok := p.Main.Body[1].(*CallStmt)
+	if !ok || cs.Name != "setup" {
+		t.Errorf("expected call setup, got %v", p.Main.Body[1])
+	}
+}
+
+func TestParseGotoAndLabels(t *testing.T) {
+	src := `
+program loopy
+  integer i, n
+  i = 0
+10 continue
+  i = i + 1
+  if (i < n) goto 10
+end
+`
+	p := mustParse(t, src)
+	body := p.Main.Body
+	if body[1].Label() != 10 {
+		t.Errorf("label = %d, want 10", body[1].Label())
+	}
+	ifs, ok := body[3].(*IfStmt)
+	if !ok {
+		t.Fatalf("expected one-line if, got %T", body[3])
+	}
+	g, ok := ifs.Then[0].(*GotoStmt)
+	if !ok || g.Target != 10 {
+		t.Errorf("expected goto 10, got %v", ifs.Then[0])
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	src := `
+program p
+  integer a, b
+  if (a > 0) then
+    b = 1
+  else if (a < 0) then
+    b = 2
+  elseif (a == 0) then
+    b = 3
+  else
+    b = 4
+  end if
+end
+`
+	p := mustParse(t, src)
+	ifs := p.Main.Body[0].(*IfStmt)
+	if len(ifs.Elifs) != 2 {
+		t.Fatalf("got %d elif arms, want 2", len(ifs.Elifs))
+	}
+	if ifs.Else == nil || len(ifs.Else) != 1 {
+		t.Error("else arm missing")
+	}
+}
+
+func TestParseDoStep(t *testing.T) {
+	src := "program p\n integer i, n\n do i = n, 1, -1\n continue\n end do\nend\n"
+	p := mustParse(t, src)
+	d := p.Main.Body[0].(*DoStmt)
+	u, ok := d.Step.(*Unary)
+	if !ok || u.Op != OpNeg {
+		t.Errorf("step = %v, want -1", FormatExpr(d.Step))
+	}
+}
+
+func TestParseDimBounds(t *testing.T) {
+	src := "program p\n real x(0:10, 5)\nend\n"
+	p := mustParse(t, src)
+	d := p.Main.Decls[0]
+	if len(d.Dims) != 2 {
+		t.Fatalf("dims = %d, want 2", len(d.Dims))
+	}
+	if d.Dims[0].Lo == nil {
+		t.Error("first dim lower bound missing")
+	}
+	if d.Dims[1].Lo != nil {
+		t.Error("second dim lower bound should default")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	src := "program p\n integer a, b, c, d\n a = b + c*d**2\nend\n"
+	p := mustParse(t, src)
+	as := p.Main.Body[0].(*AssignStmt)
+	got := FormatExpr(as.Rhs)
+	if got != "b + c * d**2" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	src := "program p\n integer a, b\n logical q\n if (a < b and not (a == 0) or b > 1) then\n q = true\n end if\nend\n"
+	p := mustParse(t, src)
+	ifs := p.Main.Body[0].(*IfStmt)
+	top, ok := ifs.Cond.(*Binary)
+	if !ok || top.Op != OpOr {
+		t.Fatalf("top op = %v, want or", ifs.Cond)
+	}
+	l, ok := top.X.(*Binary)
+	if !ok || l.Op != OpAnd {
+		t.Fatalf("left op want and, got %v", FormatExpr(top.X))
+	}
+}
+
+func TestParseParam(t *testing.T) {
+	src := "program p\n param n = 100\n real x(n)\n integer i\n do i = 1, n\n x(i) = 0.0\n end do\nend\n"
+	p := mustParse(t, src)
+	if len(p.Main.Params) != 1 || p.Main.Params[0].Name != "n" {
+		t.Fatalf("params: %+v", p.Main.Params)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"program\nend\n",
+		"program p\n x = \nend\n",
+		"program p\n do i = 1\n end do\nend\n",
+		"program p\n if (x) then\nend\n", // unterminated if at EOF inside
+		"program p\n 0 continue\nend\n",  // invalid label
+		"program p\n goto x\nend\n",
+		"program p\n x(1) = 2\n", // missing end
+		"program p\n f() = 1\nend\n",
+		"program p\n 1 + 2 = 3\nend\n",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	p := mustParse(t, figure1a)
+	text := Format(p)
+	p2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse of formatted output failed: %v\n%s", err, text)
+	}
+	text2 := Format(p2)
+	if text != text2 {
+		t.Errorf("format not idempotent:\n--- first\n%s\n--- second\n%s", text, text2)
+	}
+}
+
+func TestCloneProgramIndependence(t *testing.T) {
+	p := mustParse(t, figure1a)
+	c := CloneProgram(p)
+	// Mutate the clone; original must be untouched.
+	c.Main.Body[0].(*DoStmt).Var.Name = "zz"
+	if p.Main.Body[0].(*DoStmt).Var.Name != "k" {
+		t.Error("clone shares structure with original")
+	}
+	if Format(c) == Format(p) {
+		t.Error("mutated clone still formats identically")
+	}
+}
+
+func TestWalkStmtsOrder(t *testing.T) {
+	p := mustParse(t, figure1a)
+	var seq []string
+	WalkStmts(p.Main.Body, func(s Stmt) bool {
+		switch s := s.(type) {
+		case *DoStmt:
+			seq = append(seq, "do "+s.Var.Name)
+		case *WhileStmt:
+			seq = append(seq, "while")
+		case *AssignStmt:
+			seq = append(seq, "assign "+FormatExpr(s.Lhs))
+		case *IfStmt:
+			seq = append(seq, "if")
+		}
+		return true
+	})
+	joined := strings.Join(seq, ";")
+	if !strings.HasPrefix(joined, "do k;assign p;assign i;while;assign p;assign x(p)") {
+		t.Errorf("unexpected walk order: %s", joined)
+	}
+}
+
+func TestMapExprRewrite(t *testing.T) {
+	p := mustParse(t, "program p\n integer i, n\n real x(10)\n x(i+1) = x(i) + 1.0\nend\n")
+	as := p.Main.Body[0].(*AssignStmt)
+	// Rename i -> j everywhere.
+	rewrite := func(e Expr) Expr {
+		if id, ok := e.(*Ident); ok && id.Name == "i" {
+			return &Ident{NamePos: id.NamePos, Name: "j"}
+		}
+		return e
+	}
+	MapStmtExprs(as, rewrite)
+	if got := FormatStmt(as); got != "x(j + 1) = x(j) + 1.0" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFormatOneLineIf(t *testing.T) {
+	src := "program p\n integer i\n if (i > 0) i = 0\nend\n"
+	p := mustParse(t, src)
+	got := FormatStmt(p.Main.Body[0])
+	if got != "if (i > 0) i = 0" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,325 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/machine"
+)
+
+// runChecksum executes a compiled program and returns a named global (or
+// an execution error).
+func runChecksum(pz *Parallelizer, procs int, name string) (float64, error) {
+	in := interp.New(pz.Info, interp.Options{
+		Machine: machine.New(machine.Origin2000, procs),
+		Poison:  true,
+	})
+	if err := in.Run(); err != nil {
+		return 0, err
+	}
+	if v, err := in.GlobalReal(name); err == nil {
+		return v, nil
+	}
+	iv, err := in.GlobalInt(name)
+	return float64(iv), err
+}
+
+// assertSerialAndWrongIfForced verifies that (a) the analysis keeps the
+// loop serial, and (b) the serial decision was semantically necessary: if
+// the loop is force-parallelized with the tempting privatization, the
+// result actually changes. This guards against the analyses being merely
+// conservative by accident.
+func assertSerialAndWrongIfForced(t *testing.T, src, loopVar string, private []string, checksum string) {
+	t.Helper()
+	pz, info := build(t, src, Full)
+	rs := pz.Run()
+	var report *LoopReport
+	for _, r := range rs {
+		if r.Loop.Var.Name == loopVar {
+			report = r
+			break
+		}
+	}
+	if report == nil {
+		t.Fatal("loop not found")
+	}
+	if report.Parallel {
+		t.Fatalf("UNSOUND: loop do %s was parallelized: %+v", loopVar, report)
+	}
+
+	want, err := runChecksum(pz, 1, checksum)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+
+	// Force the tempting (wrong) parallelization and watch it break: the
+	// result must differ, poison, or trap.
+	report.Loop.Parallel = true
+	report.Loop.Private = private
+	got, err := runChecksum(pz, 4, checksum)
+	if err != nil {
+		return // trapped: the rejection was clearly necessary
+	}
+	if !math.IsNaN(got) && math.Abs(got-want) <= 1e-9*math.Max(1, math.Abs(want)) {
+		t.Fatalf("forcing the rejected parallelization did not change the result (%v); the rejection may be vacuous", got)
+	}
+	_ = info
+}
+
+func TestAdversarialConditionalReset(t *testing.T) {
+	// The "stack" pointer reset is conditional: values genuinely flow
+	// across iterations of do k through t().
+	src := `
+program condreset
+  param n = 16
+  param m = 24
+  real t(m), a(m), out(n, m)
+  integer k, j, p
+  real checksum
+  do j = 1, m
+    a(j) = real(mod(j * 7, 9)) - 3.0
+  end do
+  p = 0
+  do k = 1, n
+    if (mod(k, 5) == 0) then
+      p = 0
+    end if
+    do j = 1, m
+      if (a(j) > 0.0) then
+        p = p + 1
+        t(p) = a(j) + real(k)
+      else
+        if (p >= 1) then
+          out(k, j) = t(p)
+          p = p - 1
+        end if
+      end if
+    end do
+  end do
+  checksum = 0.0
+  do k = 1, n
+    do j = 1, m
+      checksum = checksum + out(k, j)
+    end do
+  end do
+  print "cs", checksum
+end
+`
+	assertSerialAndWrongIfForced(t, src, "k", []string{"t", "p", "j"}, "checksum")
+}
+
+func TestAdversarialCWWithHole(t *testing.T) {
+	// x() looks consecutively written, but one path skips the write: the
+	// do j read then sees a stale element from the previous iteration.
+	src := `
+program cwhole
+  param n = 12
+  param m = 20
+  real x(m), y(m), z(n, m)
+  integer k, i, j, p
+  real checksum
+  do i = 1, m
+    y(i) = real(mod(i * 5, 7)) - 2.0
+  end do
+  do k = 1, n
+    p = 0
+    do i = 1, m
+      p = p + 1
+      if (y(i) > 0.0) then
+        x(p) = y(i) * real(k)
+      end if
+    end do
+    do j = 1, p
+      z(k, j) = x(j)
+    end do
+  end do
+  checksum = 0.0
+  do k = 1, n
+    do j = 1, m
+      checksum = checksum + z(k, j)
+    end do
+  end do
+  print "cs", checksum
+end
+`
+	assertSerialAndWrongIfForced(t, src, "k", []string{"x", "p", "i", "j"}, "checksum")
+}
+
+func TestAdversarialGatherCounterStride(t *testing.T) {
+	// The gather counter advances by 2: ind has holes, so privatizing the
+	// consumer's source array via "bounds" would read stale gaps.
+	src := `
+program stride2
+  param n = 16
+  param m = 24
+  real x(m), z(n, m)
+  integer ind(2 * m)
+  integer k, i, j, q
+  real checksum
+  do k = 1, n
+    do i = 1, m
+      x(i) = real(mod(k + i, 5)) - 1.0
+    end do
+    q = 0
+    do i = 1, m
+      if (x(i) > 0.0) then
+        q = q + 2
+        ind(q) = i
+      end if
+    end do
+    do j = 2, q
+      z(k, ind(j)) = x(ind(j))
+    end do
+  end do
+  checksum = 0.0
+  do i = 1, n
+    do j = 1, m
+      checksum = checksum + z(i, j)
+    end do
+  end do
+  print "cs", checksum
+end
+`
+	pz, _ := build(t, src, Full)
+	rs := pz.Run()
+	for _, r := range rs {
+		if r.Loop.Var.Name == "k" && r.Parallel {
+			t.Fatalf("UNSOUND: stride-2 gather consumer parallelized: %+v", r)
+		}
+	}
+}
+
+func TestAdversarialDistancePatchedAfterUseLoopStarts(t *testing.T) {
+	// pptr is consistent when defined, but iblen is enlarged afterwards:
+	// the offset-length premise dist = iblen no longer matches pptr's
+	// actual gaps, and blocks overlap.
+	src := `
+program patched
+  param nblk = 10
+  param smax = 200
+  integer pptr(nblk + 1), iblen(nblk)
+  real x(smax), b(smax)
+  integer i, j
+  real checksum
+  do i = 1, nblk
+    iblen(i) = 3
+  end do
+  pptr(1) = 1
+  do i = 1, nblk
+    pptr(i + 1) = pptr(i) + iblen(i)
+  end do
+  do i = 1, nblk
+    iblen(i) = 5
+  end do
+  do i = 1, smax
+    b(i) = real(mod(i, 4))
+  end do
+  do i = 1, nblk
+    do j = 1, iblen(i)
+      x(pptr(i) + j - 1) = x(pptr(i) + j - 1) + b(pptr(i) + j - 1) + real(i)
+    end do
+  end do
+  checksum = 0.0
+  do i = 1, smax
+    checksum = checksum + x(i)
+  end do
+  print "cs", checksum
+end
+`
+	pz, _ := build(t, src, Full)
+	rs := pz.Run()
+	for _, r := range rs {
+		if r.Loop.Var.Name == "i" && r.Parallel {
+			for arr, test := range r.Tests {
+				if arr == "x" && test == "offset-length" {
+					t.Fatalf("UNSOUND: offset-length fired after iblen was patched: %+v", r)
+				}
+			}
+		}
+	}
+}
+
+func TestAdversarialReductionVarAlsoAssigned(t *testing.T) {
+	// s is summed AND plainly assigned in the same loop: not a reduction;
+	// the loop must stay serial (final value depends on the last
+	// assignment ordering).
+	src := `
+program sneaky
+  param n = 32
+  real a(n), s
+  integer i
+  do i = 1, n
+    a(i) = real(i)
+  end do
+  s = 0.0
+  do i = 1, n
+    s = s + a(i)
+    if (a(i) > 30.0) then
+      s = 0.0
+    end if
+  end do
+  print "s", s
+end
+`
+	pz, _ := build(t, src, Full)
+	rs := pz.Run()
+	for _, r := range rs {
+		if !r.Parallel {
+			continue
+		}
+		for _, red := range r.Reductions {
+			if red.Var == "s" {
+				t.Fatalf("UNSOUND: s recognised as a reduction despite the reset: %+v", r)
+			}
+		}
+		for _, p := range r.Private {
+			if p == "s" {
+				t.Fatalf("UNSOUND: s privatized despite carrying a value: %+v", r)
+			}
+		}
+	}
+}
+
+func TestAdversarialStackReadBelowBottom(t *testing.T) {
+	// The pop is unguarded: p can sink below the bottom and t(p) indexes
+	// stale data (or traps). The Table 1 discipline itself passes, but
+	// execution bounds-checks catch p = 0; the loop must still be treated
+	// correctly: privatization may mark t, but a correct program never
+	// pops an empty stack — here it does, so the runtime check fires.
+	src := `
+program underflow
+  param n = 4
+  param m = 6
+  real t(m), a(m), out(n, m)
+  integer k, j, p
+  do j = 1, m
+    a(j) = 0.0 - 1.0
+  end do
+  do k = 1, n
+    p = 0
+    do j = 1, m
+      if (a(j) > 0.0) then
+        p = p + 1
+        t(p) = a(j)
+      else
+        out(k, j) = t(p)
+        p = p - 1
+      end if
+    end do
+  end do
+end
+`
+	pz, _ := build(t, src, Full)
+	pz.Run()
+	in := interp.New(pz.Info, interp.Options{Machine: machine.New(machine.Origin2000, 1)})
+	err := in.Run()
+	if err == nil {
+		t.Fatal("reading below the stack bottom must trap at run time")
+	}
+	if re, ok := err.(*interp.RuntimeError); !ok || re == nil {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+	_ = lang.FormatStmt
+}

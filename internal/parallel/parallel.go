@@ -1,0 +1,319 @@
+// Package parallel decides which DO loops can run in parallel, combining
+// the dependence tests, the privatization test and reduction recognition —
+// the final stage of the paper's pipeline. Three configurations reproduce
+// the three compilers of the evaluation (Fig. 16):
+//
+//   - Full: Polaris with irregular access analysis (the paper's system);
+//   - NoIAA: Polaris without irregular access analysis (symbolic range test
+//     and affine privatization only);
+//   - Baseline: an affine-only auto-parallelizer standing in for the SGI
+//     F77 APO baseline (GCD/affine dependence tests, scalar privatization
+//     and reductions, no array privatization).
+package parallel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/core/property"
+	"repro/internal/dataflow"
+	"repro/internal/deptest"
+	"repro/internal/lang"
+	"repro/internal/privatize"
+	"repro/internal/sem"
+)
+
+// Mode selects the analysis configuration.
+type Mode int
+
+// Modes.
+const (
+	Full Mode = iota
+	NoIAA
+	Baseline
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Full:
+		return "polaris+iaa"
+	case NoIAA:
+		return "polaris"
+	case Baseline:
+		return "apo"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// LoopReport records the parallelization decision for one loop.
+type LoopReport struct {
+	Unit *lang.Unit
+	Loop *lang.DoStmt
+	// Name identifies the loop for reports: unit/do<var>@line.
+	Name     string
+	Parallel bool
+	// Blockers lists why the loop stayed serial.
+	Blockers []string
+	// Private lists privatized arrays and scalars.
+	Private []string
+	// Reductions recognized for the loop.
+	Reductions []lang.Reduction
+	// Tests lists the dependence tests that fired, per array.
+	Tests map[string]deptest.TestKind
+	// Properties lists verified index-array properties used anywhere.
+	Properties []string
+	// PrivReasons records, per privatized array, the technique.
+	PrivReasons map[string]privatize.Reason
+}
+
+// Parallelizer drives loop parallelization over a checked program.
+type Parallelizer struct {
+	Info *sem.Info
+	Mod  *dataflow.ModInfo
+	Mode Mode
+
+	dep  *deptest.Analyzer
+	priv *privatize.Analyzer
+	prop *property.Analysis
+}
+
+// New builds a Parallelizer in the given mode.
+func New(info *sem.Info, mod *dataflow.ModInfo, mode Mode) *Parallelizer {
+	var prop *property.Analysis
+	if mode == Full {
+		prop = property.New(info, cfg.BuildHCG(info.Program), mod)
+	}
+	p := &Parallelizer{
+		Info: info, Mod: mod, Mode: mode,
+		prop: prop,
+		dep:  deptest.New(info, mod, prop),
+		priv: privatize.New(info, mod, prop),
+	}
+	if mode != Full {
+		p.priv.DisableSingleIndex = true
+	}
+	return p
+}
+
+// PropertyStats exposes the property-analysis counters (nil-safe).
+func (p *Parallelizer) PropertyStats() *property.Stats {
+	if p.prop == nil {
+		return &property.Stats{}
+	}
+	return &p.prop.Stats
+}
+
+// Property returns the property analysis, or nil outside Full mode.
+func (p *Parallelizer) Property() *property.Analysis { return p.prop }
+
+// Run analyzes every unit, marks parallel loops in the AST (DoStmt.Parallel,
+// .Private) and returns a report per analyzed loop. Outermost parallel
+// loops win: loops nested inside a parallel loop are not considered.
+func (p *Parallelizer) Run() []*LoopReport {
+	var reports []*LoopReport
+	for _, u := range p.Info.Program.Units() {
+		reports = append(reports, p.runUnit(u)...)
+	}
+	return reports
+}
+
+func (p *Parallelizer) runUnit(u *lang.Unit) []*LoopReport {
+	var reports []*LoopReport
+	var visit func(stmts []lang.Stmt)
+	visit = func(stmts []lang.Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *lang.DoStmt:
+				r := p.AnalyzeLoop(u, s)
+				reports = append(reports, r)
+				if r.Parallel {
+					continue // outermost parallel loop wins
+				}
+				visit(s.Body)
+			case *lang.IfStmt:
+				visit(s.Then)
+				for i := range s.Elifs {
+					visit(s.Elifs[i].Body)
+				}
+				visit(s.Else)
+			case *lang.WhileStmt:
+				visit(s.Body)
+			}
+		}
+	}
+	visit(u.Body)
+	return reports
+}
+
+// AnalyzeLoop decides one loop and annotates the AST on success.
+func (p *Parallelizer) AnalyzeLoop(u *lang.Unit, loop *lang.DoStmt) *LoopReport {
+	r := &LoopReport{
+		Unit: u, Loop: loop,
+		Name:        fmt.Sprintf("%s/do_%s@%d", u.Name, loop.Var.Name, loop.Pos().Line),
+		Tests:       map[string]deptest.TestKind{},
+		PrivReasons: map[string]privatize.Reason{},
+	}
+	block := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		for _, b := range r.Blockers {
+			if b == msg {
+				return
+			}
+		}
+		r.Blockers = append(r.Blockers, msg)
+	}
+
+	// Structural requirements.
+	bodyMod := p.Mod.StmtsMod(u, loop.Body)
+	if bodyMod.Scalars[loop.Var.Name] {
+		block("loop variable %s modified in body", loop.Var.Name)
+	}
+	boundVarsOK := true
+	for _, e := range []lang.Expr{loop.Lo, loop.Hi, loop.Step} {
+		if e == nil {
+			continue
+		}
+		lang.WalkExpr(e, func(x lang.Expr) bool {
+			switch x := x.(type) {
+			case *lang.Ident:
+				if bodyMod.Scalars[x.Name] {
+					boundVarsOK = false
+				}
+			case *lang.ArrayRef:
+				if !x.Intrinsic && bodyMod.Arrays[x.Name] {
+					boundVarsOK = false
+				}
+			}
+			return true
+		})
+	}
+	if !boundVarsOK {
+		block("loop bounds modified in body")
+	}
+	structureOK := true
+	lang.WalkStmts(loop.Body, func(s lang.Stmt) bool {
+		switch s.(type) {
+		case *lang.PrintStmt:
+			block("I/O in loop body")
+			structureOK = false
+		case *lang.ReturnStmt, *lang.StopStmt:
+			block("control leaves the loop body")
+			structureOK = false
+		case *lang.CallStmt:
+			// Calls block parallelization (the pipeline inlines eligible
+			// callees beforehand, matching the Polaris setup).
+			block("unresolved call in loop body")
+			structureOK = false
+		}
+		return structureOK
+	})
+	if len(r.Blockers) > 0 {
+		return r
+	}
+
+	// Reductions were annotated by the passes; in Baseline mode keep only
+	// sum reductions (the typical auto-parallelizer capability).
+	reds := loop.Reductions
+	if p.Mode == Baseline {
+		var kept []lang.Reduction
+		for _, red := range reds {
+			if red.Op == lang.OpAdd {
+				kept = append(kept, red)
+			}
+		}
+		reds = kept
+	}
+	redVars := map[string]bool{}
+	for _, red := range reds {
+		redVars[red.Var] = true
+	}
+
+	// Scalar analysis.
+	sc := newScalarCheck(p, u, loop, redVars)
+	privScalars, scalarBlockers := sc.run()
+	for _, b := range scalarBlockers {
+		block("%s", b)
+	}
+
+	// Array analysis.
+	var privArrays []string
+	if len(r.Blockers) == 0 {
+		arrayBlockers := p.analyzeArrays(u, loop, r, &privArrays)
+		for _, b := range arrayBlockers {
+			block("%s", b)
+		}
+	}
+
+	if len(r.Blockers) > 0 {
+		return r
+	}
+
+	r.Parallel = true
+	r.Private = append(append([]string(nil), privArrays...), privScalars...)
+	sort.Strings(r.Private)
+	r.Reductions = reds
+
+	loop.Parallel = true
+	loop.Private = r.Private
+	loop.Reductions = reds
+	return r
+}
+
+// analyzeArrays combines dependence and privatization results per array.
+func (p *Parallelizer) analyzeArrays(u *lang.Unit, loop *lang.DoStmt, r *LoopReport, privArrays *[]string) []string {
+	var blockers []string
+
+	verdicts := p.dep.AnalyzeLoop(u, loop)
+	var privResults map[string]*privatize.Result
+	if p.Mode != Baseline {
+		privResults = p.priv.AnalyzeLoop(u, loop)
+	}
+
+	arrays := make([]string, 0, len(verdicts))
+	for arr := range verdicts {
+		arrays = append(arrays, arr)
+	}
+	sort.Strings(arrays)
+
+	for _, arr := range arrays {
+		v := verdicts[arr]
+		if p.Mode == Baseline && v.Independent && v.Test != deptest.TestAffine {
+			// The baseline only trusts affine evidence.
+			v = &deptest.Verdict{Array: arr}
+		}
+		if v.Independent {
+			r.Tests[arr] = v.Test
+			r.Properties = append(r.Properties, v.Properties...)
+			continue
+		}
+		if privResults != nil {
+			if pr := privResults[arr]; pr != nil && pr.Private {
+				if pr.LiveOut {
+					blockers = append(blockers, fmt.Sprintf("array %s privatizable but live-out", arr))
+					continue
+				}
+				*privArrays = append(*privArrays, arr)
+				r.PrivReasons[arr] = pr.Reason
+				r.Properties = append(r.Properties, pr.Properties...)
+				continue
+			}
+		}
+		blockers = append(blockers, fmt.Sprintf("carried dependence on array %s", arr))
+	}
+	r.Properties = dedup(r.Properties)
+	return blockers
+}
+
+func dedup(ss []string) []string {
+	seen := map[string]bool{}
+	out := ss[:0]
+	for _, s := range ss {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,260 @@
+// Package pipeline orchestrates the full compiler: parsing, semantic
+// analysis, the Polaris-like transformation passes, and loop
+// parallelization, in the phase order of Fig. 15(b) — all program units are
+// fully transformed before the analyses run, the reorganization the paper
+// introduced to make interprocedural array property analysis possible. The
+// original organization of Fig. 15(a), which interleaved transformation and
+// analysis per unit and therefore could not look across units, is available
+// as an ablation: it restricts the property analysis to one unit.
+//
+// The pipeline also keeps the books for Table 2: total compilation time and
+// the share spent in array property analysis.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/core/property"
+	"repro/internal/dataflow"
+	"repro/internal/deptest"
+	"repro/internal/lang"
+	"repro/internal/parallel"
+	"repro/internal/passes"
+	"repro/internal/sem"
+)
+
+// Organization selects the phase ordering of Fig. 15.
+type Organization int
+
+// Organizations.
+const (
+	// Reorganized is Fig. 15(b): all units transformed first, then the
+	// interprocedural analyses.
+	Reorganized Organization = iota
+	// Original is Fig. 15(a): per-unit interleaving, which limits the
+	// property analysis to a single unit.
+	Original
+)
+
+func (o Organization) String() string {
+	if o == Original {
+		return "fig15a"
+	}
+	return "fig15b"
+}
+
+// Result is a finished compilation.
+type Result struct {
+	Program *lang.Program
+	Info    *sem.Info
+	Mod     *dataflow.ModInfo
+	Reports []*parallel.LoopReport
+
+	// LoC is the number of non-blank source lines.
+	LoC int
+	// CompileTime is the wall-clock duration of the whole compilation.
+	CompileTime time.Duration
+	// PropertyTime is the share spent in array property analysis.
+	PropertyTime time.Duration
+	// PropertyStats are the analysis counters.
+	PropertyStats property.Stats
+	// Interchanged counts loop nests swapped by the optional interchange
+	// pass.
+	Interchanged int
+
+	parallelizer *parallel.Parallelizer
+}
+
+// ParallelLoops returns the reports of loops that were parallelized.
+func (r *Result) ParallelLoops() []*parallel.LoopReport {
+	var out []*parallel.LoopReport
+	for _, lr := range r.Reports {
+		if lr.Parallel {
+			out = append(out, lr)
+		}
+	}
+	return out
+}
+
+// Options configures optional pipeline features beyond the mode and phase
+// organization.
+type Options struct {
+	// Interchange enables the loop-interchange pass ([22]): legal,
+	// locality-improving perfect nests are swapped after the scalar
+	// transformations.
+	Interchange bool
+}
+
+// Compile runs the full pipeline on source text.
+func Compile(src string, mode parallel.Mode, org Organization) (*Result, error) {
+	return CompileOpts(src, mode, org, Options{})
+}
+
+// CompileOpts is Compile with optional features.
+func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options) (*Result, error) {
+	start := time.Now()
+
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := sem.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("semantic analysis: %w", err)
+	}
+	mod := dataflow.ComputeMod(info)
+
+	recheck := func() error {
+		info, err = sem.Check(prog)
+		if err != nil {
+			return fmt.Errorf("internal: pass broke the program: %w", err)
+		}
+		mod = dataflow.ComputeMod(info)
+		return nil
+	}
+
+	// Inlining and interprocedural constant propagation (both phase
+	// orders run these first, as in Fig. 15).
+	if passes.Inline(prog) {
+		if err := recheck(); err != nil {
+			return nil, err
+		}
+	}
+	if passes.PropagateGlobalConstants(prog, info, mod) {
+		if err := recheck(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Program normalization and scalar transformations, to a fixed point
+	// (bounded).
+	for round := 0; round < 3; round++ {
+		changed := false
+		passes.FoldConstants(prog)
+		changed = passes.SimplifyControl(prog) || changed
+		if err := recheck(); err != nil {
+			return nil, err
+		}
+		changed = passes.SubstituteInductionVariables(prog, info, mod) || changed
+		if err := recheck(); err != nil {
+			return nil, err
+		}
+		changed = passes.PropagateConstants(prog, info, mod) || changed
+		if err := recheck(); err != nil {
+			return nil, err
+		}
+		changed = passes.ForwardSubstitute(prog, info, mod) || changed
+		if err := recheck(); err != nil {
+			return nil, err
+		}
+		changed = passes.EliminateDeadCode(prog, info) || changed
+		if err := recheck(); err != nil {
+			return nil, err
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Optional loop interchange (legality via the same dependence tests;
+	// Full mode supplies property-based evidence too).
+	interchanged := 0
+	if opts.Interchange {
+		var prop *property.Analysis
+		if mode == parallel.Full {
+			prop = property.New(info, cfg.BuildHCG(prog), mod)
+		}
+		dep := deptest.New(info, mod, prop)
+		interchanged = passes.InterchangeLoops(prog, info, mod, dep)
+		if interchanged > 0 {
+			if err := recheck(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Reduction recognition, then parallelization (privatization + data
+	// dependence tests, both driven by the parallelizer).
+	passes.RecognizeReductions(prog, info, mod)
+	pz := parallel.New(info, mod, mode)
+	if org == Original && pz.Property() != nil {
+		pz.Property().Intraprocedural = true
+	}
+	reports := pz.Run()
+
+	res := &Result{
+		Program:      prog,
+		Info:         info,
+		Mod:          mod,
+		Reports:      reports,
+		LoC:          countLoC(src),
+		CompileTime:  time.Since(start),
+		parallelizer: pz,
+	}
+	res.Interchanged = interchanged
+	res.PropertyStats = *pz.PropertyStats()
+	res.PropertyTime = res.PropertyStats.Elapsed
+	return res, nil
+}
+
+func countLoC(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Summary renders a human-readable compilation report.
+func (r *Result) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "compiled %d LoC in %v (property analysis %v, %.1f%%)\n",
+		r.LoC, r.CompileTime.Round(time.Microsecond), r.PropertyTime.Round(time.Microsecond),
+		100*float64(r.PropertyTime)/float64(max64(1, int64(r.CompileTime))))
+	for _, lr := range r.Reports {
+		status := "serial  "
+		if lr.Parallel {
+			status = "PARALLEL"
+		}
+		fmt.Fprintf(&sb, "  %s %s", status, lr.Name)
+		if lr.Parallel {
+			if len(lr.Private) > 0 {
+				fmt.Fprintf(&sb, " private(%s)", strings.Join(lr.Private, ","))
+			}
+			if len(lr.Reductions) > 0 {
+				var rs []string
+				for _, red := range lr.Reductions {
+					rs = append(rs, red.Var)
+				}
+				fmt.Fprintf(&sb, " reduction(%s)", strings.Join(rs, ","))
+			}
+			arrs := make([]string, 0, len(lr.Tests))
+			for arr := range lr.Tests {
+				arrs = append(arrs, arr)
+			}
+			sort.Strings(arrs)
+			for _, arr := range arrs {
+				if test := lr.Tests[arr]; test != "" {
+					fmt.Fprintf(&sb, " %s:%s", arr, test)
+				}
+			}
+		} else {
+			fmt.Fprintf(&sb, " [%s]", strings.Join(lr.Blockers, "; "))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+package progen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/sem"
+)
+
+// TestMutationRobustness: randomly corrupted sources must produce errors
+// (or still-valid programs), never panics, from the lexer, parser and
+// semantic analyzer.
+func TestMutationRobustness(t *testing.T) {
+	base := Generate(rand.New(rand.NewSource(1)), Config{})
+	r := rand.New(rand.NewSource(2))
+	glyphs := []byte("()+-*/=<>,:;.!&\"abcdefghijklmnopqrstuvwxyz0123456789 \n")
+
+	for trial := 0; trial < 300; trial++ {
+		b := []byte(base)
+		// Apply 1-4 random mutations.
+		for m := 0; m <= r.Intn(4); m++ {
+			switch r.Intn(3) {
+			case 0: // replace a byte
+				b[r.Intn(len(b))] = glyphs[r.Intn(len(glyphs))]
+			case 1: // delete a byte
+				i := r.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			case 2: // duplicate a span
+				i := r.Intn(len(b))
+				j := i + r.Intn(10)
+				if j > len(b) {
+					j = len(b)
+				}
+				b = append(b[:j], append([]byte(string(b[i:j])), b[j:]...)...)
+			}
+		}
+		src := string(b)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on mutated input: %v\n%s", p, src)
+				}
+			}()
+			prog, err := lang.Parse(src)
+			if err != nil {
+				// Errors must carry positions.
+				if !strings.Contains(err.Error(), ":") {
+					t.Errorf("error without position: %v", err)
+				}
+				return
+			}
+			sem.Check(prog) // must not panic either way
+		}()
+	}
+}
+
+// TestTruncationRobustness: every prefix of a valid program must lex/parse
+// without panicking.
+func TestTruncationRobustness(t *testing.T) {
+	src := Generate(rand.New(rand.NewSource(3)), Config{Subroutines: true})
+	for cut := 0; cut < len(src); cut += 7 {
+		prefix := src[:cut]
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on truncated input at %d: %v", cut, p)
+				}
+			}()
+			if prog, err := lang.Parse(prefix); err == nil {
+				sem.Check(prog)
+			}
+		}()
+	}
+}

@@ -1,0 +1,50 @@
+package progen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/sem"
+)
+
+// TestPrinterRoundTrip: for many random programs, Format(Parse(Format(p)))
+// must be a fixed point and semantic analysis must accept both.
+func TestPrinterRoundTrip(t *testing.T) {
+	for seed := int64(300); seed < 360; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		src := Generate(r, Config{Subroutines: seed%2 == 0})
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse generated source:\n%s\n%v", seed, src, err)
+		}
+		text1 := lang.Format(prog)
+		prog2, err := lang.Parse(text1)
+		if err != nil {
+			t.Fatalf("seed %d: reparse formatted:\n%s\n%v", seed, text1, err)
+		}
+		text2 := lang.Format(prog2)
+		if text1 != text2 {
+			t.Fatalf("seed %d: printer not idempotent:\n--- first\n%s\n--- second\n%s", seed, text1, text2)
+		}
+		if _, err := sem.Check(prog2); err != nil {
+			t.Fatalf("seed %d: reparsed program fails sem: %v", seed, err)
+		}
+	}
+}
+
+// TestTokenizeGenerated: the lexer must accept every generated program and
+// the token stream must be non-trivial.
+func TestTokenizeGenerated(t *testing.T) {
+	for seed := int64(400); seed < 420; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		src := Generate(r, Config{})
+		toks, err := lang.Tokenize(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(toks) < 50 {
+			t.Errorf("seed %d: suspiciously few tokens (%d)", seed, len(toks))
+		}
+	}
+}

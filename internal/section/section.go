@@ -1,0 +1,542 @@
+// Package section implements symbolic regular array sections and the
+// conservative set algebra the array analyses are built on.
+//
+// A Section describes a rectangular region of one array: one symbolic
+// [lo:hi] range per dimension (step 1). The paper's data-flow equations
+// (§3.1) manipulate sections with union, subtraction and loop aggregation;
+// crucially, Kill sets are MAY approximations (may only grow) and Gen sets
+// are MUST approximations (may only shrink), so each operation here comes in
+// a flavour for each direction. In the worst case Kill becomes the universal
+// section and Gen becomes empty — exactly the paper's fallback.
+package section
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Section is a rectangular symbolic region of one array. A nil bound in a
+// dimension means unbounded in that direction; a Section with no Dims is
+// invalid except via Universal, which represents "all of the array".
+type Section struct {
+	Array string
+	Dims  []expr.Range
+}
+
+// New builds a one-dimensional section array[lo:hi].
+func New(array string, lo, hi *expr.Expr) *Section {
+	return &Section{Array: array, Dims: []expr.Range{{Lo: lo, Hi: hi}}}
+}
+
+// Elem builds the single-element section array[at] (one-dimensional).
+func Elem(array string, at *expr.Expr) *Section {
+	return New(array, at, at)
+}
+
+// NewMulti builds a multi-dimensional section.
+func NewMulti(array string, dims []expr.Range) *Section {
+	return &Section{Array: array, Dims: dims}
+}
+
+// Universal returns the section covering all of array, whatever its bounds.
+func Universal(array string, ndims int) *Section {
+	dims := make([]expr.Range, ndims)
+	return &Section{Array: array, Dims: dims}
+}
+
+// IsUniversal reports whether every dimension is unbounded on both sides.
+func (s *Section) IsUniversal() bool {
+	for _, d := range s.Dims {
+		if d.Lo != nil || d.Hi != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of s.
+func (s *Section) Clone() *Section {
+	c := &Section{Array: s.Array, Dims: append([]expr.Range(nil), s.Dims...)}
+	return c
+}
+
+func (s *Section) String() string {
+	parts := make([]string, len(s.Dims))
+	for i, d := range s.Dims {
+		lo, hi := "*", "*"
+		if d.Lo != nil {
+			lo = d.Lo.String()
+		}
+		if d.Hi != nil {
+			hi = d.Hi.String()
+		}
+		if lo == hi && d.Lo != nil {
+			parts[i] = lo
+		} else {
+			parts[i] = lo + ":" + hi
+		}
+	}
+	return fmt.Sprintf("%s[%s]", s.Array, strings.Join(parts, ", "))
+}
+
+// ProvablyEmpty reports whether some dimension's range is provably empty
+// (lo > hi) under the assumptions.
+func (s *Section) ProvablyEmpty(a expr.Assumptions) bool {
+	for _, d := range s.Dims {
+		if d.Lo != nil && d.Hi != nil && expr.ProveLT(d.Hi, d.Lo, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether two sections are structurally identical.
+func (s *Section) Equal(o *Section) bool {
+	if s.Array != o.Array || len(s.Dims) != len(o.Dims) {
+		return false
+	}
+	for i := range s.Dims {
+		if !rangeEqual(s.Dims[i], o.Dims[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func rangeEqual(a, b expr.Range) bool {
+	return exprEqualOrBothNil(a.Lo, b.Lo) && exprEqualOrBothNil(a.Hi, b.Hi)
+}
+
+func exprEqualOrBothNil(a, b *expr.Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Equal(b)
+}
+
+// Contains conservatively proves s ⊇ o (same array, every dimension of s
+// covering the corresponding dimension of o).
+func (s *Section) Contains(o *Section, a expr.Assumptions) bool {
+	if s.Array != o.Array || len(s.Dims) != len(o.Dims) {
+		return false
+	}
+	for i := range s.Dims {
+		if !expr.RangeContains(s.Dims[i], o.Dims[i], a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Disjoint conservatively proves s ∩ o = ∅: different arrays, or some
+// dimension provably disjoint.
+func (s *Section) Disjoint(o *Section, a expr.Assumptions) bool {
+	if s.Array != o.Array {
+		return true
+	}
+	if len(s.Dims) != len(o.Dims) {
+		return false
+	}
+	for i := range s.Dims {
+		if expr.DisjointRanges(s.Dims[i], o.Dims[i], a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersect returns an over-approximation of s ∩ o (per-dimension maximum
+// of lower bounds and minimum of upper bounds where provable; otherwise it
+// keeps the bound from s). Returns nil when the intersection is provably
+// empty or the arrays differ.
+func (s *Section) Intersect(o *Section, a expr.Assumptions) *Section {
+	if s.Array != o.Array || len(s.Dims) != len(o.Dims) {
+		return nil
+	}
+	if s.Disjoint(o, a) {
+		return nil
+	}
+	out := &Section{Array: s.Array, Dims: make([]expr.Range, len(s.Dims))}
+	for i := range s.Dims {
+		out.Dims[i] = expr.Range{
+			Lo: maxBound(s.Dims[i].Lo, o.Dims[i].Lo, a),
+			Hi: minBound(s.Dims[i].Hi, o.Dims[i].Hi, a),
+		}
+	}
+	if out.ProvablyEmpty(a) {
+		return nil
+	}
+	return out
+}
+
+// maxBound picks the provably larger of two lower bounds (nil = -inf).
+func maxBound(x, y *expr.Expr, a expr.Assumptions) *expr.Expr {
+	switch {
+	case x == nil:
+		return y
+	case y == nil:
+		return x
+	case expr.ProveLE(x, y, a):
+		return y
+	case expr.ProveLE(y, x, a):
+		return x
+	default:
+		// Unknown order: keep x (over-approximates the intersection).
+		return x
+	}
+}
+
+// minBound picks the provably smaller of two upper bounds (nil = +inf).
+func minBound(x, y *expr.Expr, a expr.Assumptions) *expr.Expr {
+	switch {
+	case x == nil:
+		return y
+	case y == nil:
+		return x
+	case expr.ProveLE(x, y, a):
+		return x
+	case expr.ProveLE(y, x, a):
+		return y
+	default:
+		return x
+	}
+}
+
+// UnionMay returns the rectangular hull of s and o: an over-approximation
+// suitable for MAY sets (Kill, read sets). Returns nil when the arrays
+// differ (callers keep them separate).
+func (s *Section) UnionMay(o *Section, a expr.Assumptions) *Section {
+	if s.Array != o.Array || len(s.Dims) != len(o.Dims) {
+		return nil
+	}
+	out := &Section{Array: s.Array, Dims: make([]expr.Range, len(s.Dims))}
+	for i := range s.Dims {
+		out.Dims[i] = expr.Range{
+			Lo: hullLo(s.Dims[i].Lo, o.Dims[i].Lo, a),
+			Hi: hullHi(s.Dims[i].Hi, o.Dims[i].Hi, a),
+		}
+	}
+	return out
+}
+
+func hullLo(x, y *expr.Expr, a expr.Assumptions) *expr.Expr {
+	if x == nil || y == nil {
+		return nil
+	}
+	switch {
+	case expr.ProveLE(x, y, a):
+		return x
+	case expr.ProveLE(y, x, a):
+		return y
+	default:
+		return nil // unknown ⇒ unbounded (conservative for MAY)
+	}
+}
+
+func hullHi(x, y *expr.Expr, a expr.Assumptions) *expr.Expr {
+	if x == nil || y == nil {
+		return nil
+	}
+	switch {
+	case expr.ProveLE(x, y, a):
+		return y
+	case expr.ProveLE(y, x, a):
+		return x
+	default:
+		return nil
+	}
+}
+
+// UnionMust returns an under-approximation of s ∪ o: the exact union when
+// the sections agree in all dimensions but one and are provably adjacent or
+// overlapping in that one; otherwise it returns whichever operand contains
+// the other, or nil if neither relation is provable. Suitable for MUST sets
+// (Gen, write sets).
+func (s *Section) UnionMust(o *Section, a expr.Assumptions) *Section {
+	if s.Array != o.Array || len(s.Dims) != len(o.Dims) {
+		return nil
+	}
+	if s.Contains(o, a) {
+		return s.Clone()
+	}
+	if o.Contains(s, a) {
+		return o.Clone()
+	}
+	// Exact merge along one dimension.
+	diffDim := -1
+	for i := range s.Dims {
+		if !rangeEqual(s.Dims[i], o.Dims[i]) {
+			if diffDim >= 0 {
+				return nil
+			}
+			diffDim = i
+		}
+	}
+	if diffDim < 0 {
+		return s.Clone()
+	}
+	d1, d2 := s.Dims[diffDim], o.Dims[diffDim]
+	if d1.Lo == nil || d1.Hi == nil || d2.Lo == nil || d2.Hi == nil {
+		return nil
+	}
+	// Mergeable iff d2.lo <= d1.hi+1 and d1.lo <= d2.hi+1 (adjacent or
+	// overlapping, in either order).
+	if expr.ProveLE(d2.Lo, d1.Hi.AddConst(1), a) && expr.ProveLE(d1.Lo, d2.Hi.AddConst(1), a) {
+		out := s.Clone()
+		out.Dims[diffDim] = expr.Range{
+			Lo: minBound2(d1.Lo, d2.Lo, a),
+			Hi: maxBound2(d1.Hi, d2.Hi, a),
+		}
+		if out.Dims[diffDim].Lo == nil || out.Dims[diffDim].Hi == nil {
+			return nil
+		}
+		return out
+	}
+	return nil
+}
+
+// minBound2 returns the provably smaller expression, or nil when unknown.
+func minBound2(x, y *expr.Expr, a expr.Assumptions) *expr.Expr {
+	switch {
+	case expr.ProveLE(x, y, a):
+		return x
+	case expr.ProveLE(y, x, a):
+		return y
+	default:
+		return nil
+	}
+}
+
+func maxBound2(x, y *expr.Expr, a expr.Assumptions) *expr.Expr {
+	switch {
+	case expr.ProveLE(x, y, a):
+		return y
+	case expr.ProveLE(y, x, a):
+		return x
+	default:
+		return nil
+	}
+}
+
+// SubtractMay returns an over-approximation of s \ o, used for propagating
+// the still-unverified part of a query (paper: Section(remain) = Section −
+// Gen). The result is nil when s is provably fully covered by o.
+func (s *Section) SubtractMay(o *Section, a expr.Assumptions) *Section {
+	if s.Array != o.Array || len(s.Dims) != len(o.Dims) {
+		return s.Clone()
+	}
+	if o.Contains(s, a) {
+		return nil
+	}
+	// Trimming is exact only if o covers s in every dimension but one.
+	trimDim := -1
+	for i := range s.Dims {
+		if !expr.RangeContains(o.Dims[i], s.Dims[i], a) {
+			if trimDim >= 0 {
+				return s.Clone() // more than one uncovered dim: give up
+			}
+			trimDim = i
+		}
+	}
+	if trimDim < 0 {
+		return nil
+	}
+	d, od := s.Dims[trimDim], o.Dims[trimDim]
+	out := s.Clone()
+	// Trim from below: o covers [*, od.Hi] from the start of d.
+	coversLow := od.Lo == nil || (d.Lo != nil && expr.ProveLE(od.Lo, d.Lo, a))
+	coversHigh := od.Hi == nil || (d.Hi != nil && expr.ProveLE(d.Hi, od.Hi, a))
+	switch {
+	case coversLow && od.Hi != nil:
+		// Remaining part is (od.Hi, d.Hi].
+		out.Dims[trimDim] = expr.Range{Lo: od.Hi.AddConst(1), Hi: d.Hi}
+	case coversHigh && od.Lo != nil:
+		out.Dims[trimDim] = expr.Range{Lo: d.Lo, Hi: od.Lo.AddConst(-1)}
+	default:
+		return s.Clone() // cut in the middle or unknown: keep all of s
+	}
+	if out.ProvablyEmpty(a) {
+		return nil
+	}
+	return out
+}
+
+// SubtractMust returns an under-approximation of s \ o, used when the
+// result must itself stay a MUST set (e.g. Gen minus a MAY Kill). When the
+// relationship between the sections cannot be proven, the result is nil
+// (empty) — the safe direction for MUST.
+func (s *Section) SubtractMust(o *Section, a expr.Assumptions) *Section {
+	if s.Array != o.Array || len(s.Dims) != len(o.Dims) {
+		return s.Clone()
+	}
+	if s.Disjoint(o, a) {
+		return s.Clone()
+	}
+	// Exact trim requires o to cover s in every dimension but one and the
+	// cut to be provably at one end of the remaining dimension.
+	trimDim := -1
+	for i := range s.Dims {
+		if !expr.RangeContains(o.Dims[i], s.Dims[i], a) {
+			if trimDim >= 0 {
+				return nil
+			}
+			trimDim = i
+		}
+	}
+	if trimDim < 0 {
+		return nil // fully covered
+	}
+	d, od := s.Dims[trimDim], o.Dims[trimDim]
+	if d.Lo == nil || d.Hi == nil {
+		return nil
+	}
+	out := s.Clone()
+	switch {
+	case od.Hi != nil && (od.Lo == nil || expr.ProveLE(od.Lo, d.Lo, a)) &&
+		expr.ProveLE(d.Lo, od.Hi.AddConst(1), a):
+		// o covers the low end of s up to od.Hi (and reaches at least to
+		// d.Lo-1): the remainder [od.Hi+1 : d.Hi] is inside s and outside o.
+		out.Dims[trimDim] = expr.Range{Lo: od.Hi.AddConst(1), Hi: d.Hi}
+	case od.Lo != nil && (od.Hi == nil || expr.ProveLE(d.Hi, od.Hi, a)) &&
+		expr.ProveLE(od.Lo.AddConst(-1), d.Hi, a):
+		out.Dims[trimDim] = expr.Range{Lo: d.Lo, Hi: od.Lo.AddConst(-1)}
+	default:
+		return nil
+	}
+	if out.ProvablyEmpty(a) {
+		return nil
+	}
+	return out
+}
+
+// AggregateMay returns an over-approximation of the union of s over all
+// values of the loop index v in [lo,hi]: each dimension's bounds are
+// replaced by their extremes over the index range (Gross & Steenkiste
+// aggregation). A dimension whose bounds cannot be bounded becomes
+// unbounded.
+func (s *Section) AggregateMay(v string, lo, hi *expr.Expr, a expr.Assumptions) *Section {
+	env := expr.Env{v: expr.NewRange(lo, hi)}
+	out := &Section{Array: s.Array, Dims: make([]expr.Range, len(s.Dims))}
+	for i, d := range s.Dims {
+		var nlo, nhi *expr.Expr
+		if d.Lo != nil {
+			if r, ok := expr.Bounds(d.Lo, env, a); ok {
+				nlo = r.Lo
+			}
+		}
+		if d.Hi != nil {
+			if r, ok := expr.Bounds(d.Hi, env, a); ok {
+				nhi = r.Hi
+			}
+		}
+		out.Dims[i] = expr.Range{Lo: nlo, Hi: nhi}
+	}
+	return out
+}
+
+// AggregateMayEnv widens s over every variable bound in env (MAY): each
+// dimension bound is replaced by its extreme over all the env ranges, or
+// dropped (unbounded) when it cannot be bounded. Dimensions not mentioning
+// any env variable are unchanged.
+func (s *Section) AggregateMayEnv(env expr.Env, a expr.Assumptions) *Section {
+	out := s.Clone()
+	for _, v := range env.Vars() {
+		r := env[v]
+		for i, d := range out.Dims {
+			lo, hi := d.Lo, d.Hi
+			if lo != nil && lo.MentionsVar(v) {
+				lo = nil
+				if r.Lo != nil && r.Hi != nil {
+					if b, ok := expr.Bounds(d.Lo, expr.Env{v: r}, a); ok {
+						lo = b.Lo
+					}
+				}
+			}
+			if hi != nil && hi.MentionsVar(v) {
+				hi = nil
+				if r.Lo != nil && r.Hi != nil {
+					if b, ok := expr.Bounds(d.Hi, expr.Env{v: r}, a); ok {
+						hi = b.Hi
+					}
+				}
+			}
+			out.Dims[i] = expr.Range{Lo: lo, Hi: hi}
+		}
+	}
+	return out
+}
+
+// AggregateMust returns an under-approximation of the union of s over v in
+// [lo,hi]. The aggregation is exact — and therefore admissible as MUST —
+// only when, in the single dimension that varies with v, consecutive
+// iterations produce adjacent or overlapping ranges (dense coverage):
+//
+//	hi(v) + 1 >= lo(v+1)   for all v
+//
+// and the dimension bounds are affine in v. Dimensions not mentioning v
+// must be identical across iterations (they are, syntactically). Returns
+// nil when exactness cannot be proven; callers must then drop the Gen.
+//
+// The loop is assumed non-empty by the caller (lo <= hi); DO-loop Gen sets
+// are only used under that premise.
+func (s *Section) AggregateMust(v string, lo, hi *expr.Expr, a expr.Assumptions) *Section {
+	varying := -1
+	for i, d := range s.Dims {
+		mentions := (d.Lo != nil && d.Lo.MentionsVar(v)) || (d.Hi != nil && d.Hi.MentionsVar(v))
+		if mentions {
+			if varying >= 0 {
+				return nil // varies in two dimensions: not a dense sweep
+			}
+			varying = i
+		}
+	}
+	if varying < 0 {
+		return s.Clone() // invariant in v: every iteration writes the same region
+	}
+	d := s.Dims[varying]
+	if d.Lo == nil || d.Hi == nil {
+		return nil
+	}
+	// Affine check (also rejects v inside opaque atoms).
+	if _, _, ok := d.Lo.Affine(v); !ok {
+		return nil
+	}
+	if _, _, ok := d.Hi.Affine(v); !ok {
+		return nil
+	}
+	vp1 := expr.Var(v).AddConst(1)
+	nextLo := d.Lo.SubstVar(v, vp1)
+	// Density: hi(v)+1 >= lo(v+1), i.e. lo(v+1) <= hi(v)+1.
+	if !expr.ProveLE(nextLo, d.Hi.AddConst(1), a) {
+		return nil
+	}
+	// Non-empty per-iteration range: lo(v) <= hi(v) must hold for all v;
+	// prove it symbolically (conservatively).
+	if !expr.ProveLE(d.Lo, d.Hi, a) {
+		return nil
+	}
+	// Monotonicity direction: with density proven lo(v+1) <= hi(v)+1 and
+	// per-iteration non-emptiness, the union over [lo,hi] is exactly
+	// [min(lo(lo),lo(hi)) : max(hi(lo),hi(hi))]; we additionally require
+	// the bounds to be monotone in v so the extremes sit at the ends.
+	loAtLo := d.Lo.SubstVar(v, lo)
+	loAtHi := d.Lo.SubstVar(v, hi)
+	hiAtLo := d.Hi.SubstVar(v, lo)
+	hiAtHi := d.Hi.SubstVar(v, hi)
+	coefLo, _, _ := d.Lo.Affine(v)
+	coefHi, _, _ := d.Hi.Affine(v)
+	var newLo, newHi *expr.Expr
+	switch {
+	case coefLo >= 0 && coefHi >= 0:
+		newLo, newHi = loAtLo, hiAtHi
+	case coefLo <= 0 && coefHi <= 0:
+		newLo, newHi = loAtHi, hiAtLo
+	default:
+		return nil
+	}
+	out := s.Clone()
+	out.Dims[varying] = expr.Range{Lo: newLo, Hi: newHi}
+	return out
+}

@@ -1,0 +1,721 @@
+// Package sem performs semantic analysis of F-lite programs: symbol
+// resolution, type checking, intrinsic recognition, label checking, and call
+// graph construction.
+//
+// F-lite follows the variable model the paper assumes (§3.2.1): subroutines
+// take no parameters; every variable declared in the main program is global
+// and visible in every subroutine unless shadowed by a local declaration.
+package sem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// SymbolKind distinguishes scalars, arrays and named constants.
+type SymbolKind int
+
+// Symbol kinds.
+const (
+	ScalarSym SymbolKind = iota
+	ArraySym
+	ParamSym
+)
+
+func (k SymbolKind) String() string {
+	switch k {
+	case ScalarSym:
+		return "scalar"
+	case ArraySym:
+		return "array"
+	case ParamSym:
+		return "param"
+	}
+	return fmt.Sprintf("SymbolKind(%d)", int(k))
+}
+
+// Dim is one resolved array dimension with constant bounds.
+type Dim struct {
+	Lo, Hi int64
+}
+
+// Size returns the extent of the dimension.
+func (d Dim) Size() int64 { return d.Hi - d.Lo + 1 }
+
+// Symbol is a resolved variable, array or named constant.
+type Symbol struct {
+	Name   string
+	Kind   SymbolKind
+	Type   lang.BasicType
+	Dims   []Dim // resolved bounds; only for ArraySym
+	Global bool  // declared in the main program
+	Value  int64 // constant value; only for ParamSym
+	Decl   lang.Node
+}
+
+// NumElems returns the total number of elements of an array symbol.
+func (s *Symbol) NumElems() int64 {
+	n := int64(1)
+	for _, d := range s.Dims {
+		n *= d.Size()
+	}
+	return n
+}
+
+// Scope resolves names for one program unit: locals first, then globals.
+type Scope struct {
+	Unit    *lang.Unit
+	Locals  map[string]*Symbol
+	globals map[string]*Symbol
+}
+
+// Lookup resolves name in this scope, returning nil if undeclared.
+func (sc *Scope) Lookup(name string) *Symbol {
+	if s, ok := sc.Locals[name]; ok {
+		return s
+	}
+	if s, ok := sc.globals[name]; ok {
+		return s
+	}
+	return nil
+}
+
+// Names returns all visible names, sorted, locals overriding globals.
+func (sc *Scope) Names() []string {
+	seen := map[string]bool{}
+	var names []string
+	for n := range sc.Locals {
+		seen[n] = true
+		names = append(names, n)
+	}
+	for n := range sc.globals {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Info is the result of semantic analysis.
+type Info struct {
+	Program *lang.Program
+	Globals map[string]*Symbol
+	Scopes  map[*lang.Unit]*Scope
+	// Calls maps each unit to the (deduplicated, sorted) names of the
+	// subroutines it calls.
+	Calls map[*lang.Unit][]string
+	// Labels maps each unit to its labeled statements.
+	Labels map[*lang.Unit]map[int]lang.Stmt
+}
+
+// Scope returns the scope of unit u.
+func (in *Info) Scope(u *lang.Unit) *Scope { return in.Scopes[u] }
+
+// LookupIn resolves name in unit u's scope.
+func (in *Info) LookupIn(u *lang.Unit, name string) *Symbol {
+	sc := in.Scopes[u]
+	if sc == nil {
+		return nil
+	}
+	return sc.Lookup(name)
+}
+
+// CalleeOrder returns all units in reverse topological order of the call
+// graph (callees before callers). The order is deterministic.
+func (in *Info) CalleeOrder() []*lang.Unit {
+	var order []*lang.Unit
+	state := map[*lang.Unit]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(u *lang.Unit)
+	visit = func(u *lang.Unit) {
+		if state[u] != 0 {
+			return
+		}
+		state[u] = 1
+		for _, callee := range in.Calls[u] {
+			if cu := in.Program.Unit(callee); cu != nil {
+				visit(cu)
+			}
+		}
+		state[u] = 2
+		order = append(order, u)
+	}
+	for _, u := range in.Program.Units() {
+		visit(u)
+	}
+	return order
+}
+
+// A SemError is a semantic error with a source position.
+type SemError struct {
+	Pos lang.Pos
+	Msg string
+}
+
+func (e *SemError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList collects multiple semantic errors.
+type ErrorList []*SemError
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	msgs := make([]string, 0, len(l))
+	for _, e := range l {
+		msgs = append(msgs, e.Error())
+	}
+	return strings.Join(msgs, "\n")
+}
+
+type checker struct {
+	prog   *lang.Program
+	info   *Info
+	errs   ErrorList
+	params map[string]int64 // visible named constants while resolving decls
+}
+
+func (c *checker) errorf(pos lang.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &SemError{pos, fmt.Sprintf(format, args...)})
+}
+
+// Intrinsics lists the F-lite intrinsic functions with their arity bounds
+// (-1 means variadic with at least MinArgs).
+var Intrinsics = map[string]struct {
+	MinArgs int
+	MaxArgs int // -1 means unbounded
+}{
+	"mod":  {2, 2},
+	"min":  {2, -1},
+	"max":  {2, -1},
+	"abs":  {1, 1},
+	"sqrt": {1, 1},
+	"sin":  {1, 1},
+	"cos":  {1, 1},
+	"exp":  {1, 1},
+	"log":  {1, 1},
+	"int":  {1, 1},
+	"real": {1, 1},
+}
+
+// Check performs full semantic analysis of prog. On success it returns an
+// Info and mutates the AST in one way only: ArrayRef nodes that are
+// intrinsic calls get their Intrinsic flag set.
+func Check(prog *lang.Program) (*Info, error) {
+	c := &checker{
+		prog: prog,
+		info: &Info{
+			Program: prog,
+			Globals: map[string]*Symbol{},
+			Scopes:  map[*lang.Unit]*Scope{},
+			Calls:   map[*lang.Unit][]string{},
+			Labels:  map[*lang.Unit]map[int]lang.Stmt{},
+		},
+	}
+	if prog.Main == nil {
+		c.errorf(lang.Pos{Line: 1, Col: 1}, "program has no main unit")
+		return nil, c.errs
+	}
+
+	// Pass 1: declarations. Main first so globals are visible everywhere.
+	c.declareUnit(prog.Main, true)
+	seen := map[string]*lang.Unit{prog.Main.Name: prog.Main}
+	for _, s := range prog.Subs {
+		if prev, dup := seen[s.Name]; dup {
+			c.errorf(s.NamePos, "unit %q redeclared (previous at %s)", s.Name, prev.NamePos)
+			continue
+		}
+		seen[s.Name] = s
+		c.declareUnit(s, false)
+	}
+
+	// Pass 2: bodies.
+	for _, u := range prog.Units() {
+		if c.info.Scopes[u] != nil {
+			c.checkUnit(u)
+		}
+	}
+
+	// Pass 3: call graph sanity (targets exist, no recursion).
+	c.checkCallGraph()
+
+	if len(c.errs) > 0 {
+		return nil, c.errs
+	}
+	return c.info, nil
+}
+
+func (c *checker) declareUnit(u *lang.Unit, isMain bool) {
+	sc := &Scope{Unit: u, Locals: map[string]*Symbol{}, globals: c.info.Globals}
+	c.info.Scopes[u] = sc
+	target := sc.Locals
+	if isMain {
+		target = c.info.Globals
+	}
+
+	c.params = map[string]int64{}
+	// Named constants from the main unit are visible in subroutines too.
+	for name, s := range c.info.Globals {
+		if s.Kind == ParamSym {
+			c.params[name] = s.Value
+		}
+	}
+
+	for _, pd := range u.Params {
+		v, ok := c.constInt(pd.Value)
+		if !ok {
+			c.errorf(pd.NamePos, "param %q must be a constant integer expression", pd.Name)
+			continue
+		}
+		if _, dup := target[pd.Name]; dup {
+			c.errorf(pd.NamePos, "%q redeclared", pd.Name)
+			continue
+		}
+		target[pd.Name] = &Symbol{
+			Name: pd.Name, Kind: ParamSym, Type: lang.TInteger,
+			Global: isMain, Value: v, Decl: pd,
+		}
+		c.params[pd.Name] = v
+	}
+
+	for _, d := range u.Decls {
+		if _, dup := target[d.Name]; dup {
+			c.errorf(d.NamePos, "%q redeclared", d.Name)
+			continue
+		}
+		if _, isIntr := Intrinsics[d.Name]; isIntr {
+			c.errorf(d.NamePos, "%q shadows an intrinsic function", d.Name)
+			continue
+		}
+		sym := &Symbol{Name: d.Name, Type: d.Type, Global: isMain, Decl: d}
+		if d.IsArray() {
+			sym.Kind = ArraySym
+			ok := true
+			for _, b := range d.Dims {
+				lo := int64(1)
+				if b.Lo != nil {
+					v, okc := c.constInt(b.Lo)
+					if !okc {
+						c.errorf(d.NamePos, "array %q: lower bound is not a constant integer expression", d.Name)
+						ok = false
+						break
+					}
+					lo = v
+				}
+				hi, okc := c.constInt(b.Hi)
+				if !okc {
+					c.errorf(d.NamePos, "array %q: upper bound is not a constant integer expression", d.Name)
+					ok = false
+					break
+				}
+				if hi < lo {
+					c.errorf(d.NamePos, "array %q: empty dimension %d:%d", d.Name, lo, hi)
+					ok = false
+					break
+				}
+				sym.Dims = append(sym.Dims, Dim{Lo: lo, Hi: hi})
+			}
+			if !ok {
+				continue
+			}
+		} else {
+			sym.Kind = ScalarSym
+		}
+		target[d.Name] = sym
+	}
+}
+
+// constInt evaluates a constant integer expression (literals, params, + - *
+// / and unary minus).
+func (c *checker) constInt(e lang.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		return e.Value, true
+	case *lang.Ident:
+		v, ok := c.params[e.Name]
+		return v, ok
+	case *lang.Unary:
+		if e.Op == lang.OpNeg {
+			v, ok := c.constInt(e.X)
+			return -v, ok
+		}
+	case *lang.Binary:
+		x, okx := c.constInt(e.X)
+		y, oky := c.constInt(e.Y)
+		if !okx || !oky {
+			return 0, false
+		}
+		switch e.Op {
+		case lang.OpAdd:
+			return x + y, true
+		case lang.OpSub:
+			return x - y, true
+		case lang.OpMul:
+			return x * y, true
+		case lang.OpDiv:
+			if y == 0 {
+				return 0, false
+			}
+			return x / y, true
+		}
+	}
+	return 0, false
+}
+
+func (c *checker) checkUnit(u *lang.Unit) {
+	sc := c.info.Scopes[u]
+	labels := map[int]lang.Stmt{}
+	c.info.Labels[u] = labels
+
+	// Collect labels first (GOTO may jump forward).
+	lang.WalkStmts(u.Body, func(s lang.Stmt) bool {
+		if l := s.Label(); l != 0 {
+			if prev, dup := labels[l]; dup {
+				c.errorf(s.Pos(), "label %d already used at %s", l, prev.Pos())
+			} else {
+				labels[l] = s
+			}
+		}
+		return true
+	})
+
+	var calls []string
+	callSeen := map[string]bool{}
+
+	var checkBody func(stmts []lang.Stmt, loopDepth int)
+	checkBody = func(stmts []lang.Stmt, loopDepth int) {
+		// Labels visible for GOTO from this region: any label in the
+		// same region or an enclosing one. Jumping *into* a block is
+		// rejected below by checking the target's region.
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *lang.AssignStmt:
+				lt := c.checkLvalue(sc, s.Lhs)
+				rt := c.checkExpr(sc, s.Rhs)
+				c.requireAssignable(s.Pos(), lt, rt)
+			case *lang.IfStmt:
+				c.requireLogical(sc, s.Cond)
+				checkBody(s.Then, loopDepth)
+				for _, arm := range s.Elifs {
+					c.requireLogical(sc, arm.Cond)
+					checkBody(arm.Body, loopDepth)
+				}
+				checkBody(s.Else, loopDepth)
+			case *lang.DoStmt:
+				iv := sc.Lookup(s.Var.Name)
+				switch {
+				case iv == nil:
+					c.errorf(s.Var.NamePos, "undeclared loop variable %q", s.Var.Name)
+				case iv.Kind != ScalarSym || iv.Type != lang.TInteger:
+					c.errorf(s.Var.NamePos, "loop variable %q must be an integer scalar", s.Var.Name)
+				}
+				c.requireInteger(sc, s.Lo)
+				c.requireInteger(sc, s.Hi)
+				if s.Step != nil {
+					c.requireInteger(sc, s.Step)
+				}
+				checkBody(s.Body, loopDepth+1)
+			case *lang.WhileStmt:
+				c.requireLogical(sc, s.Cond)
+				checkBody(s.Body, loopDepth+1)
+			case *lang.CallStmt:
+				if !callSeen[s.Name] {
+					callSeen[s.Name] = true
+					calls = append(calls, s.Name)
+				}
+				if c.prog.Unit(s.Name) == nil {
+					c.errorf(s.Pos(), "call of undefined subroutine %q", s.Name)
+				} else if s.Name == u.Name {
+					c.errorf(s.Pos(), "recursive call of %q (recursion is not supported)", s.Name)
+				}
+			case *lang.GotoStmt:
+				if _, ok := labels[s.Target]; !ok {
+					c.errorf(s.Pos(), "goto %d: no such label in unit %q", s.Target, u.Name)
+				}
+			case *lang.PrintStmt:
+				for _, a := range s.Args {
+					c.checkExpr(sc, a)
+				}
+			case *lang.ContinueStmt, *lang.ReturnStmt, *lang.StopStmt:
+				// nothing to check
+			}
+		}
+	}
+	checkBody(u.Body, 0)
+	sort.Strings(calls)
+	c.info.Calls[u] = calls
+
+	c.checkGotoRegions(u)
+}
+
+// checkGotoRegions rejects GOTOs that jump into a nested block (the CFG and
+// all structured analyses assume single-entry regions). A jump is legal if
+// the target statement is in the same statement list as the GOTO or in a
+// lexically enclosing one.
+func (c *checker) checkGotoRegions(u *lang.Unit) {
+	// region assigns each statement (by identity) the statement-list path
+	// it belongs to; we encode the path as a string of indices.
+	region := map[lang.Stmt]string{}
+	var mark func(stmts []lang.Stmt, path string)
+	mark = func(stmts []lang.Stmt, path string) {
+		for i, s := range stmts {
+			region[s] = path
+			sub := fmt.Sprintf("%s/%d", path, i)
+			switch s := s.(type) {
+			case *lang.IfStmt:
+				mark(s.Then, sub+"t")
+				for j, arm := range s.Elifs {
+					mark(arm.Body, fmt.Sprintf("%s_e%d", sub, j))
+				}
+				mark(s.Else, sub+"e")
+			case *lang.DoStmt:
+				mark(s.Body, sub+"d")
+			case *lang.WhileStmt:
+				mark(s.Body, sub+"w")
+			}
+		}
+	}
+	mark(u.Body, "")
+
+	labels := c.info.Labels[u]
+	lang.WalkStmts(u.Body, func(s lang.Stmt) bool {
+		g, ok := s.(*lang.GotoStmt)
+		if !ok {
+			return true
+		}
+		target, ok := labels[g.Target]
+		if !ok {
+			return true // already reported
+		}
+		gr, tr := region[g], region[target]
+		// Legal iff target's region is a prefix of the goto's region
+		// (same list or enclosing list).
+		if !strings.HasPrefix(gr, tr) {
+			c.errorf(g.Pos(), "goto %d jumps into a nested block", g.Target)
+		}
+		return true
+	})
+}
+
+func (c *checker) checkCallGraph() {
+	// Detect mutual recursion with a DFS over call edges.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := map[string]int{}
+	var visit func(u *lang.Unit) bool
+	visit = func(u *lang.Unit) bool {
+		switch state[u.Name] {
+		case grey:
+			c.errorf(u.NamePos, "subroutine %q is recursive (possibly mutually); recursion is not supported", u.Name)
+			return false
+		case black:
+			return true
+		}
+		state[u.Name] = grey
+		for _, callee := range c.info.Calls[u] {
+			if cu := c.prog.Unit(callee); cu != nil {
+				if !visit(cu) {
+					break
+				}
+			}
+		}
+		state[u.Name] = black
+		return true
+	}
+	for _, u := range c.prog.Units() {
+		visit(u)
+	}
+}
+
+// typeOrInvalid is used for error recovery: on a type error we report and
+// continue with TInteger.
+const invalidRecoveryType = lang.TInteger
+
+func (c *checker) checkLvalue(sc *Scope, e lang.Expr) lang.BasicType {
+	switch e := e.(type) {
+	case *lang.Ident:
+		sym := sc.Lookup(e.Name)
+		if sym == nil {
+			c.errorf(e.NamePos, "undeclared variable %q", e.Name)
+			return invalidRecoveryType
+		}
+		if sym.Kind == ParamSym {
+			c.errorf(e.NamePos, "cannot assign to constant %q", e.Name)
+			return sym.Type
+		}
+		if sym.Kind == ArraySym {
+			c.errorf(e.NamePos, "cannot assign to whole array %q", e.Name)
+			return sym.Type
+		}
+		return sym.Type
+	case *lang.ArrayRef:
+		sym := sc.Lookup(e.Name)
+		if sym == nil {
+			c.errorf(e.NamePos, "undeclared array %q", e.Name)
+			return invalidRecoveryType
+		}
+		if sym.Kind != ArraySym {
+			c.errorf(e.NamePos, "%q is not an array", e.Name)
+			return sym.Type
+		}
+		if len(e.Args) != len(sym.Dims) {
+			c.errorf(e.NamePos, "array %q has %d dimensions, subscripted with %d", e.Name, len(sym.Dims), len(e.Args))
+		}
+		for _, a := range e.Args {
+			c.requireInteger(sc, a)
+		}
+		return sym.Type
+	}
+	c.errorf(e.Pos(), "invalid assignment target")
+	return invalidRecoveryType
+}
+
+func (c *checker) checkExpr(sc *Scope, e lang.Expr) lang.BasicType {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		return lang.TInteger
+	case *lang.RealLit:
+		return lang.TReal
+	case *lang.BoolLit:
+		return lang.TLogical
+	case *lang.StrLit:
+		// Strings are only printable; give them logical type so any
+		// arithmetic use errors out.
+		return lang.TLogical
+	case *lang.Ident:
+		sym := sc.Lookup(e.Name)
+		if sym == nil {
+			c.errorf(e.NamePos, "undeclared variable %q", e.Name)
+			return invalidRecoveryType
+		}
+		if sym.Kind == ArraySym {
+			c.errorf(e.NamePos, "array %q used without subscripts", e.Name)
+		}
+		return sym.Type
+	case *lang.ArrayRef:
+		return c.checkRefOrIntrinsic(sc, e)
+	case *lang.Unary:
+		xt := c.checkExpr(sc, e.X)
+		if e.Op == lang.OpNot {
+			if xt != lang.TLogical {
+				c.errorf(e.Pos(), "operand of 'not' must be logical")
+			}
+			return lang.TLogical
+		}
+		if xt == lang.TLogical {
+			c.errorf(e.Pos(), "cannot negate a logical value")
+			return invalidRecoveryType
+		}
+		return xt
+	case *lang.Binary:
+		xt := c.checkExpr(sc, e.X)
+		yt := c.checkExpr(sc, e.Y)
+		switch {
+		case e.Op.IsLogical():
+			if xt != lang.TLogical || yt != lang.TLogical {
+				c.errorf(e.Pos(), "operands of %s must be logical", e.Op)
+			}
+			return lang.TLogical
+		case e.Op.IsComparison():
+			if xt == lang.TLogical || yt == lang.TLogical {
+				if xt != yt {
+					c.errorf(e.Pos(), "cannot compare logical and numeric values")
+				} else if e.Op != lang.OpEq && e.Op != lang.OpNe {
+					c.errorf(e.Pos(), "logical values only support == and !=")
+				}
+			}
+			return lang.TLogical
+		default: // arithmetic
+			if xt == lang.TLogical || yt == lang.TLogical {
+				c.errorf(e.Pos(), "logical operand of arithmetic %s", e.Op)
+				return invalidRecoveryType
+			}
+			if xt == lang.TReal || yt == lang.TReal {
+				return lang.TReal
+			}
+			return lang.TInteger
+		}
+	}
+	c.errorf(e.Pos(), "invalid expression")
+	return invalidRecoveryType
+}
+
+func (c *checker) checkRefOrIntrinsic(sc *Scope, e *lang.ArrayRef) lang.BasicType {
+	if sym := sc.Lookup(e.Name); sym != nil {
+		if sym.Kind != ArraySym {
+			c.errorf(e.NamePos, "%q is not an array", e.Name)
+			return sym.Type
+		}
+		if len(e.Args) != len(sym.Dims) {
+			c.errorf(e.NamePos, "array %q has %d dimensions, subscripted with %d", e.Name, len(sym.Dims), len(e.Args))
+		}
+		for _, a := range e.Args {
+			c.requireInteger(sc, a)
+		}
+		return sym.Type
+	}
+	intr, ok := Intrinsics[e.Name]
+	if !ok {
+		c.errorf(e.NamePos, "undeclared array or unknown intrinsic %q", e.Name)
+		return invalidRecoveryType
+	}
+	e.Intrinsic = true
+	n := len(e.Args)
+	if n < intr.MinArgs || (intr.MaxArgs >= 0 && n > intr.MaxArgs) {
+		c.errorf(e.NamePos, "intrinsic %q: wrong number of arguments (%d)", e.Name, n)
+	}
+	argTypes := make([]lang.BasicType, 0, n)
+	for _, a := range e.Args {
+		t := c.checkExpr(sc, a)
+		if t == lang.TLogical {
+			c.errorf(a.Pos(), "intrinsic %q: logical argument", e.Name)
+		}
+		argTypes = append(argTypes, t)
+	}
+	switch e.Name {
+	case "mod":
+		if len(argTypes) == 2 && (argTypes[0] == lang.TReal || argTypes[1] == lang.TReal) {
+			return lang.TReal
+		}
+		return lang.TInteger
+	case "min", "max", "abs":
+		for _, t := range argTypes {
+			if t == lang.TReal {
+				return lang.TReal
+			}
+		}
+		return lang.TInteger
+	case "int":
+		return lang.TInteger
+	default: // sqrt, sin, cos, exp, log, real
+		return lang.TReal
+	}
+}
+
+func (c *checker) requireLogical(sc *Scope, e lang.Expr) {
+	if t := c.checkExpr(sc, e); t != lang.TLogical {
+		c.errorf(e.Pos(), "condition must be logical, got %s", t)
+	}
+}
+
+func (c *checker) requireInteger(sc *Scope, e lang.Expr) {
+	if t := c.checkExpr(sc, e); t != lang.TInteger {
+		c.errorf(e.Pos(), "expression must be integer, got %s", t)
+	}
+}
+
+func (c *checker) requireAssignable(pos lang.Pos, lt, rt lang.BasicType) {
+	switch {
+	case lt == rt:
+	case lt == lang.TReal && rt == lang.TInteger: // implicit widening
+	case lt == lang.TInteger && rt == lang.TReal: // implicit truncation, Fortran-style
+	default:
+		c.errorf(pos, "cannot assign %s to %s", rt, lt)
+	}
+}

@@ -1,0 +1,208 @@
+// Package irregular is a Go reproduction of Lin & Padua, "Compiler Analysis
+// of Irregular Memory Accesses" (PLDI 2000): a parallelizing compiler for
+// the small Fortran-like language F-lite whose loop parallelization is
+// driven by the paper's two compile-time techniques for irregular array
+// accesses —
+//
+//  1. irregular single-indexed access analysis (§2): bounded depth-first
+//     searches over the control-flow graph classify arrays subscripted by a
+//     single scalar as consecutively written or as array stacks;
+//  2. demand-driven interprocedural array property analysis (§3): reverse
+//     query propagation over a hierarchical control graph derives and
+//     verifies index-array properties (injectivity, monotonicity,
+//     closed-form values, bounds and distances), with index-gathering loops
+//     (§4) recognised through technique 1.
+//
+// The results feed the privatization test and the dependence tests (range
+// test, offset–length test, injective test, closed-form-value
+// substitution), which decide loop parallelization. A deterministic
+// simulated parallel machine executes the result, regenerating the paper's
+// evaluation: Table 2 (compilation-time overhead of the property analysis),
+// Table 3 (the loops and properties found) and Fig. 16 (speedups of the
+// three compiler configurations).
+//
+// Quick start:
+//
+//	res, err := irregular.Compile(src, irregular.Options{})
+//	fmt.Print(res.Summary())
+//	out, _ := res.Run(irregular.RunOptions{Processors: 8})
+//	fmt.Println(out.Time)
+package irregular
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/boundscheck"
+	"repro/internal/cfg"
+	"repro/internal/core/property"
+	"repro/internal/interp"
+	"repro/internal/kernels"
+	"repro/internal/lang"
+	"repro/internal/machine"
+	"repro/internal/parallel"
+	"repro/internal/pipeline"
+)
+
+// Mode selects the compiler configuration of the paper's evaluation.
+type Mode = parallel.Mode
+
+// Compiler configurations (Fig. 16's three lines).
+const (
+	// Full is Polaris with irregular access analysis — the paper's system.
+	Full = parallel.Full
+	// NoIAA is Polaris without irregular access analysis.
+	NoIAA = parallel.NoIAA
+	// Baseline is an affine-only auto-parallelizer (the SGI APO stand-in).
+	Baseline = parallel.Baseline
+)
+
+// Options configures compilation.
+type Options struct {
+	// Mode is the compiler configuration; the zero value is Full.
+	Mode Mode
+	// Intraprocedural restricts the property analysis to single units,
+	// modelling the pre-reorganization phase order of Fig. 15(a).
+	Intraprocedural bool
+	// Interchange enables the loop-interchange companion pass.
+	Interchange bool
+}
+
+// Result is a finished compilation.
+type Result struct {
+	*pipeline.Result
+	bounds *boundscheck.Result
+}
+
+// BoundsChecks runs (once, cached) the bounds-check elimination analysis —
+// one of the companion applications of the irregular-access machinery —
+// and reports which references are provably in range.
+func (r *Result) BoundsChecks() *boundscheck.Result {
+	if r.bounds == nil {
+		prop := property.New(r.Info, cfg.BuildHCG(r.Program), r.Mod)
+		r.bounds = boundscheck.New(r.Info, prop).Analyze()
+	}
+	return r.bounds
+}
+
+// Compile parses, transforms, analyzes and parallelizes an F-lite program.
+func Compile(src string, opts Options) (*Result, error) {
+	org := pipeline.Reorganized
+	if opts.Intraprocedural {
+		org = pipeline.Original
+	}
+	res, err := pipeline.CompileOpts(src, opts.Mode, org, pipeline.Options{
+		Interchange: opts.Interchange,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Result: res}, nil
+}
+
+// MachineProfile selects a simulated machine.
+type MachineProfile string
+
+// Machine profiles of the paper's evaluation.
+const (
+	// Origin2000 models the paper's 56-processor SGI Origin 2000.
+	Origin2000 MachineProfile = "origin2000"
+	// Challenge models the paper's 4-processor SGI Challenge.
+	Challenge MachineProfile = "challenge"
+)
+
+func (p MachineProfile) profile() (machine.Profile, error) {
+	switch p {
+	case Origin2000, "":
+		return machine.Origin2000, nil
+	case Challenge:
+		return machine.Challenge, nil
+	}
+	return machine.Profile{}, fmt.Errorf("irregular: unknown machine profile %q", p)
+}
+
+// RunOptions configures one execution on the simulated machine.
+type RunOptions struct {
+	// Processors is the virtual processor count (default 1).
+	Processors int
+	// Profile selects the machine model (default Origin2000).
+	Profile MachineProfile
+	// Out receives PRINT output (nil discards it).
+	Out io.Writer
+	// MaxSteps bounds execution (0: a large default).
+	MaxSteps uint64
+	// EliminateBoundsChecks applies the bounds-check elimination analysis:
+	// proven references skip the run-time check and cost less.
+	EliminateBoundsChecks bool
+}
+
+// RunResult reports one execution.
+type RunResult struct {
+	// Time is the simulated execution time in cost-model cycles.
+	Time uint64
+	// ParallelRegions counts executed parallel regions.
+	ParallelRegions int
+	interp          *interp.Interp
+}
+
+// Global reads a global real or integer scalar as float64 after the run.
+func (r *RunResult) Global(name string) (float64, error) {
+	if v, err := r.interp.GlobalReal(name); err == nil {
+		return v, nil
+	}
+	v, err := r.interp.GlobalInt(name)
+	return float64(v), err
+}
+
+// Run executes the compiled (and annotated) program on the simulated
+// machine.
+func (r *Result) Run(opts RunOptions) (*RunResult, error) {
+	prof, err := opts.Profile.profile()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Processors < 1 {
+		opts.Processors = 1
+	}
+	var safe map[*lang.ArrayRef]bool
+	if opts.EliminateBoundsChecks {
+		safe = r.BoundsChecks().Safe
+	}
+	in := interp.New(r.Info, interp.Options{
+		Machine:  machine.New(prof, opts.Processors),
+		Out:      opts.Out,
+		MaxSteps: opts.MaxSteps,
+		SafeRefs: safe,
+	})
+	if err := in.Run(); err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Time:            in.Machine().Time(),
+		ParallelRegions: in.Machine().ParallelRegions(),
+		interp:          in,
+	}, nil
+}
+
+// Format pretty-prints the transformed program (parallel loops carry a
+// !parallel annotation).
+func (r *Result) Format() string { return lang.Format(r.Program) }
+
+// Kernel names the bundled benchmark programs of the paper's evaluation.
+func Kernels() []string {
+	var names []string
+	for _, k := range kernels.All(kernels.Small) {
+		names = append(names, k.Name)
+	}
+	return names
+}
+
+// KernelSource returns the F-lite source of a bundled benchmark at the
+// default evaluation size.
+func KernelSource(name string) (string, error) {
+	k, err := kernels.ByName(name, kernels.Default)
+	if err != nil {
+		return "", err
+	}
+	return k.Source, nil
+}
