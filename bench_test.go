@@ -23,6 +23,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/lang"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/pipeline"
 	"repro/internal/section"
@@ -162,6 +163,35 @@ func BenchmarkCompileDYFESM(b *testing.B) { benchCompile(b, "dyfesm", parallel.F
 func BenchmarkCompileBDNA(b *testing.B)   { benchCompile(b, "bdna", parallel.Full) }
 func BenchmarkCompileP3M(b *testing.B)    { benchCompile(b, "p3m", parallel.Full) }
 func BenchmarkCompileTREE(b *testing.B)   { benchCompile(b, "tree", parallel.Full) }
+
+// ---------------------------------------------------------------------------
+// Telemetry overhead: the same compilation with the recorder disabled (a nil
+// *obs.Recorder, one branch per call site) and enabled. The off numbers are
+// recorded in BENCH_obs.json; off vs. the plain BenchmarkCompileTRFD must be
+// within noise.
+
+func benchCompileTelemetry(b *testing.B, rec func() *obs.Recorder) {
+	k, err := kernels.ByName("trfd", kernels.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := pipeline.CompileOpts(k.Source, parallel.Full, pipeline.Reorganized,
+			pipeline.Options{Recorder: rec()})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileTelemetryOff(b *testing.B) {
+	benchCompileTelemetry(b, func() *obs.Recorder { return nil })
+}
+
+func BenchmarkCompileTelemetryOn(b *testing.B) {
+	benchCompileTelemetry(b, obs.New)
+}
 
 // ---------------------------------------------------------------------------
 // Ablation: Fig. 15 phase organization. The reorganized order allows

@@ -5,11 +5,14 @@
 // Usage:
 //
 //	irrbench [-size small|default|large] [-procs 1,2,4,8,16,32] [-table2] [-table3] [-fig16]
+//	irrbench -metrics out.json
 //
-// With no selection flags, everything is printed.
+// With no selection flags, everything is printed. -metrics additionally
+// writes one machine-readable metrics document per kernel ("-": stdout).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +29,7 @@ func main() {
 	t2 := flag.Bool("table2", false, "print Table 2 only")
 	t3 := flag.Bool("table3", false, "print Table 3 only")
 	f16 := flag.Bool("fig16", false, "print Fig. 16 only")
+	metrics := flag.String("metrics", "", "write per-kernel metrics JSON to this path (\"-\" for stdout)")
 	flag.Parse()
 
 	var sz kernels.Size
@@ -55,7 +59,27 @@ func main() {
 		procs = append(procs, n)
 	}
 
-	all := !*t2 && !*t3 && !*f16
+	if *metrics != "" {
+		docs, err := bench.CompileMetrics(sz)
+		if err != nil {
+			fail(err)
+		}
+		data, err := json.MarshalIndent(docs, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		data = append(data, '\n')
+		if *metrics == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*metrics, data, 0o644); err != nil {
+			fail(err)
+		}
+		if !*t2 && !*t3 && !*f16 {
+			return
+		}
+	}
+
+	all := !*t2 && !*t3 && !*f16 && *metrics == ""
 
 	if all || *t2 {
 		rows, err := bench.Table2(sz)

@@ -17,6 +17,8 @@
 //	-run                        execute on the simulated machine
 //	-procs N                    processors for -run (default 1)
 //	-machine origin2000|challenge
+//	-explain                    print the per-loop decision log (telemetry)
+//	-metrics out.json           write the metrics JSON document ("-": stdout)
 package main
 
 import (
@@ -38,6 +40,8 @@ func main() {
 	kernel := flag.String("kernel", "", "compile a bundled kernel instead of a file")
 	bounds := flag.Bool("bounds", false, "report bounds-check elimination and apply it when running")
 	interchange := flag.Bool("interchange", false, "enable the loop-interchange companion pass")
+	explain := flag.Bool("explain", false, "print the per-loop decision log (query traces for failed properties)")
+	metrics := flag.String("metrics", "", "write the metrics JSON document to this path (\"-\" for stdout)")
 	flag.Parse()
 
 	var src string
@@ -75,6 +79,7 @@ func main() {
 		Mode:            m,
 		Intraprocedural: *intra,
 		Interchange:     *interchange,
+		Telemetry:       *explain || *metrics != "",
 	})
 	if err != nil {
 		fail(err)
@@ -84,6 +89,10 @@ func main() {
 		fmt.Printf("loop nests interchanged: %d\n", res.Interchanged)
 	}
 
+	if *explain {
+		fmt.Println()
+		fmt.Print(res.Explain())
+	}
 	if *dump {
 		fmt.Println()
 		fmt.Print(res.Format())
@@ -104,6 +113,20 @@ func main() {
 		}
 		fmt.Printf("\nsimulated time: %d cycles on %s x%d (%d parallel regions)\n",
 			out.Time, *mach, *procs, out.ParallelRegions)
+	}
+	// The metrics document is written last so that, with -run, the
+	// machine.loop.* counters of the execution are included.
+	if *metrics != "" {
+		data, err := res.SummaryJSON()
+		if err != nil {
+			fail(err)
+		}
+		data = append(data, '\n')
+		if *metrics == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*metrics, data, 0o644); err != nil {
+			fail(err)
+		}
 	}
 }
 

@@ -1,14 +1,16 @@
 // Command irrview inspects the compiler's intermediate structures for an
 // F-lite program: the token stream, the (formatted) AST, the flat
 // control-flow graph with its natural loops, the hierarchical control
-// graph, and the single-indexed access classification of every loop.
+// graph, the single-indexed access classification of every loop, and the
+// raw telemetry event stream of a full compilation (-trace).
 //
 // Usage:
 //
 //	irrview [-tokens] [-ast] [-cfg] [-hcg] [-access] file.fl
 //	irrview -kernel tree -cfg
+//	irrview -kernel trfd -trace
 //
-// With no selection flags everything is printed.
+// With no selection flags everything except -trace is printed.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	irregular "repro"
 	"repro/internal/cfg"
 	"repro/internal/core/singleindex"
 	"repro/internal/dataflow"
@@ -32,6 +35,7 @@ func main() {
 	hcg := flag.Bool("hcg", false, "dump the hierarchical control graph")
 	access := flag.Bool("access", false, "dump single-indexed access classification per loop")
 	defs := flag.Bool("defs", false, "dump scalar reaching definitions per unit")
+	trace := flag.Bool("trace", false, "compile with telemetry and dump the raw event stream")
 	kernel := flag.String("kernel", "", "inspect a bundled kernel instead of a file")
 	flag.Parse()
 
@@ -54,7 +58,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	all := !*tokens && !*ast && !*cfgF && !*hcg && !*access && !*defs
+	all := !*tokens && !*ast && !*cfgF && !*hcg && !*access && !*defs && !*trace
+
+	// -trace runs the whole pipeline (the other views work pre-pipeline on
+	// the untransformed program), so handle it first and on its own.
+	if *trace {
+		res, err := irregular.Compile(src, irregular.Options{Telemetry: true})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("=== telemetry event stream ===")
+		if err := res.TraceTo(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
 
 	if all || *tokens {
 		dumpTokens(src)

@@ -16,9 +16,26 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/lang"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/pipeline"
 )
+
+// CompileMetrics compiles every kernel (Full mode, reorganized phase order)
+// with telemetry on and returns one metrics document per program — the
+// payload of `irrbench -metrics`.
+func CompileMetrics(size kernels.Size) (map[string]*pipeline.Metrics, error) {
+	out := map[string]*pipeline.Metrics{}
+	for _, k := range kernels.All(size) {
+		res, err := pipeline.CompileOpts(k.Source, parallel.Full, pipeline.Reorganized,
+			pipeline.Options{Recorder: obs.New()})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		out[k.Name] = res.Metrics()
+	}
+	return out, nil
+}
 
 // Table2Row is one program's compilation and sequential-execution record.
 type Table2Row struct {
@@ -51,20 +68,13 @@ func Table2(size kernels.Size) ([]Table2Row, error) {
 			LoC:          res.LoC,
 			CompileTime:  res.CompileTime,
 			PropertyTime: res.PropertyTime,
-			OverheadPct:  100 * float64(res.PropertyTime) / float64(maxI64(1, int64(res.CompileTime))),
+			OverheadPct:  100 * float64(res.PropertyTime) / float64(max(int64(1), int64(res.CompileTime))),
 			SeqCycles:    in.Machine().Time(),
 			Queries:      res.PropertyStats.Queries,
 			GatherHits:   res.PropertyStats.GatherHits,
 		})
 	}
 	return rows, nil
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // FormatTable2 renders the rows like the paper's Table 2.
@@ -184,7 +194,7 @@ func Table3(size kernels.Size) ([]Table3Row, error) {
 				Parallel:      true,
 				NewlyParallel: serialWithout[r.Name],
 				Properties:    r.Properties,
-				PctSeq:        100 * float64(cycles[r.Loop]) / float64(maxU64(1, total)),
+				PctSeq:        100 * float64(cycles[r.Loop]) / float64(max(uint64(1), total)),
 			}
 			if nr := noiaaByName[r.Name]; nr != nil && par32Total > 0 {
 				row.PctPar32 = 100 * float64(par32Cycles[nr.Loop]) / float64(par32Total)
@@ -206,13 +216,6 @@ func Table3(size kernels.Size) ([]Table3Row, error) {
 		}
 	}
 	return rows, nil
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func hasIrregularEvidence(r *parallel.LoopReport) bool {
@@ -314,7 +317,7 @@ func speedupSeries(k *kernels.Kernel, mode parallel.Mode, prof machine.Profile, 
 		if err != nil {
 			return nil, err
 		}
-		s.Speedups = append(s.Speedups, float64(seq)/float64(maxU64(1, t)))
+		s.Speedups = append(s.Speedups, float64(seq)/float64(max(uint64(1), t)))
 	}
 	return s, nil
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/expr"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/section"
 	"repro/internal/sem"
 )
@@ -50,6 +51,10 @@ type Analysis struct {
 	Mod    *dataflow.ModInfo
 	Assume expr.Assumptions
 	Stats  Stats
+	// Rec, when non-nil, receives one "query" span per Verify call and one
+	// "query.step" event per propagation step, so a failed query can be
+	// replayed as a tree (the `-explain` decision log).
+	Rec *obs.Recorder
 	// Intraprocedural restricts queries to one unit: a query reaching a
 	// subroutine's entry fails instead of splitting to its call sites.
 	// This models the original phase organization of Fig. 15(a), which
@@ -109,19 +114,37 @@ func (a *Analysis) Verify(prop Property, at lang.Stmt, sec *section.Section) boo
 	start := time.Now()
 	defer func() { a.Stats.Elapsed += time.Since(start) }()
 	a.Stats.Queries++
+	var sp *obs.Span
+	if a.Rec.Enabled() {
+		sp = a.Rec.StartSpan("query",
+			obs.F("prop", prop.String()),
+			obs.F("array", prop.TargetArray()),
+			obs.F("at", at.Pos().String()),
+			obs.F("section", sec.String()))
+	}
 	node := a.HP.StmtNode[at]
 	if node == nil {
+		if sp != nil {
+			a.Rec.Event("query.result", obs.Fb("ok", false), obs.F("reason", "no HCG node for use site"))
+			sp.End()
+		}
 		return false
 	}
 	s := &session{
 		a:          a,
 		prop:       prop,
+		trace:      sp != nil,
 		modScalars: map[string]bool{},
 		modArrays:  map[string]bool{},
 		effects:    map[*cfg.HNode][2]*section.Set{},
 	}
 	seeds := map[*cfg.HNode]*section.Set{node: section.NewSet(sec)}
-	return s.verifyFrom(node.Graph, seeds)
+	ok := s.verifyFrom(node.Graph, seeds)
+	if sp != nil {
+		a.Rec.Event("query.result", obs.Fb("ok", ok), obs.F("prop", prop.String()))
+		sp.End()
+	}
+	return ok
 }
 
 // session is the per-query state: the property being verified and the
@@ -131,6 +154,9 @@ func (a *Analysis) Verify(prop Property, at lang.Stmt, sec *section.Section) boo
 type session struct {
 	a    *Analysis
 	prop Property
+	// trace mirrors a.Rec.Enabled(); checked before building event fields
+	// so the disabled path never formats node labels.
+	trace bool
 	// modScalars / modArrays accumulate everything modified by nodes the
 	// query passed through — i.e. code between the use site and the
 	// definition sites being examined.
@@ -158,6 +184,12 @@ func (s *session) verifyFrom(g *cfg.HGraph, seeds map[*cfg.HNode]*section.Set) b
 		// loop header.
 		loopNode := g.Parent
 		killed2, remainOut := s.queryPropLoopHeaderInside(loopNode, remain)
+		if s.trace {
+			s.a.Rec.Event("query.step",
+				obs.F("class", "do-header-inside"),
+				obs.F("node", loopNode.String()),
+				obs.F("outcome", stepOutcome(killed2, remainOut)))
+		}
 		if killed2 {
 			return false
 		}
@@ -170,21 +202,55 @@ func (s *session) verifyFrom(g *cfg.HGraph, seeds map[*cfg.HNode]*section.Set) b
 	if g.Unit == s.a.Info.Program.Main {
 		// Elements not generated anywhere in the program: the paper
 		// answers false.
+		if s.trace {
+			s.a.Rec.Event("query.step",
+				obs.F("class", "proc-header"), obs.F("node", "entry of main"),
+				obs.F("outcome", "killed: reached program entry unresolved"))
+		}
 		return false
 	}
 	if s.a.Intraprocedural {
+		if s.trace {
+			s.a.Rec.Event("query.step",
+				obs.F("class", "proc-header"), obs.F("node", "entry of "+g.Unit.Name),
+				obs.F("outcome", "killed: intraprocedural analysis cannot split to call sites"))
+		}
 		return false
 	}
 	sites := s.a.HP.CallSites(g.Unit.Name)
+	if s.trace {
+		s.a.Rec.Event("query.step",
+			obs.F("class", "proc-header"), obs.F("node", "entry of "+g.Unit.Name),
+			obs.F("outcome", "split"), obs.Fi("sites", int64(len(sites))))
+	}
 	if len(sites) == 0 {
 		return false
 	}
 	for _, site := range sites {
-		if !s.verifyFrom(site.Graph, seedPreds(site, remain)) {
+		var sp *obs.Span
+		if s.trace {
+			sp = s.a.Rec.StartSpan("query.site", obs.F("node", site.String()),
+				obs.F("unit", site.Graph.Unit.Name))
+		}
+		ok := s.verifyFrom(site.Graph, seedPreds(site, remain))
+		sp.End()
+		if !ok {
 			return false
 		}
 	}
 	return true
+}
+
+// stepOutcome labels a propagation step for the trace.
+func stepOutcome(killed bool, remain *section.Set) string {
+	switch {
+	case killed:
+		return "killed"
+	case remain.Empty():
+		return "discharged"
+	default:
+		return "propagated"
+	}
 }
 
 // seedPreds builds a seed map placing the query after every predecessor of
@@ -252,9 +318,30 @@ func (s *session) solveGraph(g *cfg.HGraph, seeds map[*cfg.HNode]*section.Set) (
 }
 
 // queryProp is the reverse query propagation framework of Fig. 6,
-// dispatching on the node class (Fig. 7).
+// dispatching on the node class (Fig. 7). With tracing enabled it emits one
+// "query.step" event per node carrying the node class, the HCG node label
+// and the step outcome (killed / discharged / propagated).
 func (s *session) queryProp(n *cfg.HNode, set *section.Set) (bool, *section.Set) {
 	s.a.Stats.NodesVisited++
+	if !s.trace {
+		return s.queryPropClass(n, set)
+	}
+	var sp *obs.Span
+	if n.Kind == cfg.HCall {
+		// Case 3 descends into the callee; nest its steps under a span.
+		sp = s.a.Rec.StartSpan("query.call", obs.F("node", n.String()))
+	}
+	killed, remain := s.queryPropClass(n, set)
+	sp.End()
+	s.a.Rec.Event("query.step",
+		obs.F("class", n.Kind.String()),
+		obs.F("node", n.String()),
+		obs.F("outcome", stepOutcome(killed, remain)))
+	return killed, remain
+}
+
+// queryPropClass implements the per-node-class propagation.
+func (s *session) queryPropClass(n *cfg.HNode, set *section.Set) (bool, *section.Set) {
 	var kill, gen *section.Set
 
 	switch n.Kind {

@@ -11,11 +11,13 @@ package deptest
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core/property"
 	"repro/internal/dataflow"
 	"repro/internal/expr"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/section"
 	"repro/internal/sem"
 )
@@ -52,6 +54,9 @@ type Analyzer struct {
 	Mod    *dataflow.ModInfo
 	Prop   *property.Analysis
 	Assume expr.Assumptions
+	// Rec, when non-nil, receives one "dep.verdict" event per array and
+	// loop, recording which dependence test fired (or why none did).
+	Rec *obs.Recorder
 
 	// queryCache memoizes property verifications: the same (property
 	// kind, array, section, statement) query is repeated across the
@@ -180,7 +185,78 @@ func (a *Analyzer) AnalyzeLoop(u *lang.Unit, loop *lang.DoStmt) map[string]*Verd
 		}
 		v.Independent, v.Test, v.Properties = a.independent(u, loop, arr, rs)
 	}
+	if a.Rec.Enabled() {
+		arrays := make([]string, 0, len(out))
+		for arr := range out {
+			arrays = append(arrays, arr)
+		}
+		sort.Strings(arrays)
+		for _, arr := range arrays {
+			v := out[arr]
+			fields := []obs.Field{
+				obs.F("array", arr),
+				obs.Fb("independent", v.Independent),
+			}
+			switch {
+			case v.Independent:
+				fields = append(fields, obs.F("test", string(v.Test)))
+			case unanalyzable[arr]:
+				fields = append(fields, obs.F("reason", "modified by an out-of-line call"))
+			default:
+				fields = append(fields, obs.F("reason", "no test disproved the dependence"))
+			}
+			a.Rec.Event("dep.verdict", fields...)
+		}
+	}
 	return out
+}
+
+// DiagnoseArray replays, with tracing, the index-array property queries
+// relevant to one dependent array of a loop: for every index array
+// appearing in the array's subscripts it verifies injectivity, monotonicity
+// and value bounds over the loop's index range. The verdicts do not change
+// — this exists so `-explain` can show *which* property query failed for a
+// loop that stayed serial, the diagnosis Bhosale & Eigenmann identify as
+// the key to extending coverage. No-op without a recorder or property
+// analysis.
+func (a *Analyzer) DiagnoseArray(u *lang.Unit, loop *lang.DoStmt, arr string) {
+	if a.Prop == nil || !a.Rec.Enabled() {
+		return
+	}
+	// Replayed queries must not perturb the analysis bookkeeping: Stats
+	// (and so Table 2's overhead share) stay what the verdicts alone cost.
+	saved := a.Prop.Stats
+	defer func() { a.Prop.Stats = saved }()
+	lo, hi, okR := loopRange(loop)
+	if !okR {
+		return
+	}
+	refs, _ := a.collectRefs(u, loop)
+	seen := map[string]bool{}
+	for _, r := range refs[arr] {
+		for _, e := range r.subs {
+			for _, ia := range arrayAtomNames(e) {
+				if seen[ia] {
+					continue
+				}
+				seen[ia] = true
+				sp := a.Rec.StartSpan("diagnose",
+					obs.F("array", arr), obs.F("index", ia))
+				sec := section.New(ia, lo, hi)
+				for _, mk := range []func() property.Property{
+					func() property.Property { return property.NewInjective(ia) },
+					func() property.Property { return property.NewMonotonic(ia) },
+					func() property.Property { return property.NewBounds(ia) },
+				} {
+					prop := mk()
+					ok := a.Prop.Verify(prop, r.stmt, sec)
+					a.Rec.Event("diagnose.result",
+						obs.F("prop", prop.String()), obs.Fb("ok", ok))
+				}
+				sp.End()
+			}
+		}
+	}
 }
 
 // independent tests all conflicting pairs of references of one array.

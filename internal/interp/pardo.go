@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/lang"
@@ -139,7 +140,12 @@ func (e *ex) runParallelDo(s *lang.DoStmt) (signal, int) {
 	}
 	in.inParallel = false
 	in.cost = savedCost
-	in.mach.AddParallel(costs)
+	if in.mach.Rec.Enabled() {
+		in.mach.AddParallelRegion(
+			fmt.Sprintf("%s/do_%s@%d", e.unit.Name, s.Var.Name, s.Pos().Line), costs)
+	} else {
+		in.mach.AddParallel(costs)
+	}
 
 	// Combine reductions in ascending processor order (deterministic).
 	for i, r := range reds {

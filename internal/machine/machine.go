@@ -10,7 +10,11 @@
 // 4-processor ratio (Fig. 16(f)).
 package machine
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Profile holds the machine-dependent constants of the cost model.
 type Profile struct {
@@ -40,6 +44,9 @@ type Machine struct {
 	Profile Profile
 	// P is the number of processors used by parallel regions.
 	P int
+	// Rec, when non-nil, receives per-region telemetry: a "machine.region"
+	// event and machine.loop.<name>.* counters per named parallel region.
+	Rec *obs.Recorder
 
 	time            uint64
 	parallelRegions int
@@ -81,6 +88,23 @@ func (m *Machine) AddParallel(perProc []uint64) {
 	m.time += cost
 	m.parallelCycles += cost
 	m.parallelRegions++
+}
+
+// AddParallelRegion is AddParallel for a named loop; with a recorder
+// attached it also records the region's simulated cost as a
+// "machine.region" event and per-loop cycle counters.
+func (m *Machine) AddParallelRegion(name string, perProc []uint64) {
+	before := m.time
+	m.AddParallel(perProc)
+	if m.Rec.Enabled() {
+		cycles := int64(m.time - before)
+		m.Rec.Count("machine.loop."+name+".cycles", cycles)
+		m.Rec.Count("machine.loop."+name+".regions", 1)
+		m.Rec.Event("machine.region",
+			obs.F("loop", name),
+			obs.Fi("cycles", cycles),
+			obs.Fi("procs", int64(m.P)))
+	}
 }
 
 // Time returns the total simulated time.

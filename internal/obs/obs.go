@@ -1,0 +1,212 @@
+// Package obs is the compiler's zero-dependency telemetry subsystem: a
+// low-overhead event collector with spans (hierarchical timed regions),
+// counters, and structured events. The pipeline opens a span per phase, the
+// property analysis emits one event per query propagation step, the
+// dependence tests record which test fired per array, and the simulated
+// machine records per-loop execution time — all into one Recorder whose
+// stream drives the `-explain` decision log, the `-metrics` JSON document
+// and the `-trace` raw dump.
+//
+// Every method is nil-safe: a disabled (*Recorder)(nil) costs one branch,
+// so the compiler threads an optional recorder through its hot paths
+// without measurable overhead when telemetry is off. Call sites that build
+// expensive field values (node labels, section strings) should still guard
+// with Enabled() so the formatting work is skipped entirely.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Field is one key/value attribute of an event.
+type Field struct {
+	K string `json:"k"`
+	V string `json:"v"`
+}
+
+// F builds a string field.
+func F(k, v string) Field { return Field{K: k, V: v} }
+
+// Fi builds an integer field.
+func Fi(k string, v int64) Field { return Field{K: k, V: strconv.FormatInt(v, 10)} }
+
+// Fb builds a boolean field.
+func Fb(k string, v bool) Field { return Field{K: k, V: strconv.FormatBool(v)} }
+
+// Event is one structured telemetry event. Span boundaries appear as
+// "<kind>.begin" / "<kind>.end" pairs; the end event carries the span's
+// duration. Depth is the span-nesting depth at emission time, which lets
+// consumers rebuild the hierarchy from the flat stream.
+type Event struct {
+	Seq    int     `json:"seq"`
+	TNs    int64   `json:"t_ns"`
+	Kind   string  `json:"kind"`
+	Depth  int     `json:"depth"`
+	DurNs  int64   `json:"dur_ns,omitempty"`
+	Fields []Field `json:"fields,omitempty"`
+}
+
+// Get returns the value of the named field ("" when absent).
+func (e *Event) Get(key string) string {
+	for _, f := range e.Fields {
+		if f.K == key {
+			return f.V
+		}
+	}
+	return ""
+}
+
+func (e *Event) String() string {
+	s := fmt.Sprintf("%10.3fms %*s%s", float64(e.TNs)/1e6, 2*e.Depth, "", e.Kind)
+	for _, f := range e.Fields {
+		s += fmt.Sprintf(" %s=%s", f.K, f.V)
+	}
+	if e.DurNs > 0 {
+		s += fmt.Sprintf(" dur=%v", time.Duration(e.DurNs).Round(time.Microsecond))
+	}
+	return s
+}
+
+// Recorder collects events and counters for one compilation (or run). The
+// zero value is not usable; construct with New. A nil *Recorder is a valid
+// disabled recorder: every method returns immediately.
+type Recorder struct {
+	mu       sync.Mutex
+	start    time.Time
+	depth    int
+	events   []Event
+	counters map[string]int64
+}
+
+// New builds an enabled recorder.
+func New() *Recorder {
+	return &Recorder{start: time.Now(), counters: map[string]int64{}}
+}
+
+// Enabled reports whether the recorder collects anything. Guard expensive
+// field construction with it.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Event appends one event at the current span depth.
+func (r *Recorder) Event(kind string, fields ...Field) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.emit(kind, 0, fields)
+	r.mu.Unlock()
+}
+
+// emit appends an event; callers hold r.mu.
+func (r *Recorder) emit(kind string, dur time.Duration, fields []Field) {
+	r.events = append(r.events, Event{
+		Seq:    len(r.events),
+		TNs:    int64(time.Since(r.start)),
+		Kind:   kind,
+		Depth:  r.depth,
+		DurNs:  int64(dur),
+		Fields: fields,
+	})
+}
+
+// Count adds delta to a named counter.
+func (r *Recorder) Count(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Counter reads one counter.
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Counters returns a copy of all counters.
+func (r *Recorder) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// CounterNames returns the counter names in sorted order.
+func (r *Recorder) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Events returns a snapshot of the event stream.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Span is one open hierarchical timed region. A nil *Span (from a disabled
+// recorder) is valid: End is a no-op.
+type Span struct {
+	r     *Recorder
+	kind  string
+	start time.Time
+}
+
+// StartSpan opens a timed region: a "<kind>.begin" event is emitted and
+// subsequent events nest one level deeper until End.
+func (r *Recorder) StartSpan(kind string, fields ...Field) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.emit(kind+".begin", 0, fields)
+	r.depth++
+	r.mu.Unlock()
+	return &Span{r: r, kind: kind, start: time.Now()}
+}
+
+// End closes the region, emitting a "<kind>.end" event carrying the span's
+// duration, and returns that duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.r.mu.Lock()
+	if s.r.depth > 0 {
+		s.r.depth--
+	}
+	s.r.emit(s.kind+".end", d, nil)
+	s.r.mu.Unlock()
+	return d
+}

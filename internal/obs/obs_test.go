@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// A nil recorder must be safe to use everywhere: this is the disabled
+// telemetry path the compiler runs with by default.
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.Event("x", F("k", "v"))
+	r.Count("c", 3)
+	sp := r.StartSpan("phase", F("name", "parse"))
+	if sp != nil {
+		t.Fatal("nil recorder returned a live span")
+	}
+	if d := sp.End(); d != 0 {
+		t.Fatalf("nil span duration %v", d)
+	}
+	if r.Counter("c") != 0 || r.Counters() != nil || r.Events() != nil || r.CounterNames() != nil {
+		t.Fatal("nil recorder leaked state")
+	}
+}
+
+func TestSpanNestingDepth(t *testing.T) {
+	r := New()
+	outer := r.StartSpan("outer")
+	r.Event("mid")
+	inner := r.StartSpan("inner")
+	r.Event("deep", Fi("n", 7), Fb("ok", true))
+	inner.End()
+	outer.End()
+
+	evs := r.Events()
+	want := []struct {
+		kind  string
+		depth int
+	}{
+		{"outer.begin", 0},
+		{"mid", 1},
+		{"inner.begin", 1},
+		{"deep", 2},
+		{"inner.end", 1},
+		{"outer.end", 0},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events, want %d", len(evs), len(want))
+	}
+	for i, w := range want {
+		if evs[i].Kind != w.kind || evs[i].Depth != w.depth {
+			t.Errorf("event %d: got (%s, depth %d), want (%s, depth %d)",
+				i, evs[i].Kind, evs[i].Depth, w.kind, w.depth)
+		}
+		if evs[i].Seq != i {
+			t.Errorf("event %d: seq %d", i, evs[i].Seq)
+		}
+	}
+	if evs[4].DurNs <= 0 || evs[5].DurNs <= 0 {
+		t.Errorf("span end events missing durations: %v %v", evs[4].DurNs, evs[5].DurNs)
+	}
+	if got := evs[3].Get("n"); got != "7" {
+		t.Errorf("field n = %q", got)
+	}
+	if got := evs[3].Get("ok"); got != "true" {
+		t.Errorf("field ok = %q", got)
+	}
+	if got := evs[3].Get("absent"); got != "" {
+		t.Errorf("absent field = %q", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	r := New()
+	r.Count("a", 2)
+	r.Count("a", 3)
+	r.Count("b", 1)
+	if got := r.Counter("a"); got != 5 {
+		t.Errorf("a = %d", got)
+	}
+	names := r.CounterNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+	// Counters() is a copy.
+	r.Counters()["a"] = 99
+	if got := r.Counter("a"); got != 5 {
+		t.Errorf("after mutating copy, a = %d", got)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Count("n", 1)
+				r.Event("e", Fi("j", int64(j)))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n"); got != 800 {
+		t.Errorf("n = %d", got)
+	}
+	if got := len(r.Events()); got != 800 {
+		t.Errorf("events = %d", got)
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	r := New()
+	sp := r.StartSpan("phase", F("name", "parse"))
+	r.Event("note", F("k", "v"))
+	sp.End()
+	var sb strings.Builder
+	if err := WriteTrace(&sb, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"phase.begin name=parse", "note k=v", "phase.end"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteTrace dumps an event stream as text, one event per line, indented by
+// span depth. This is the raw view behind `irrview -trace`.
+func WriteTrace(w io.Writer, events []Event) error {
+	for i := range events {
+		if _, err := fmt.Fprintln(w, events[i].String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -14,12 +14,14 @@ package parallel
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/cfg"
 	"repro/internal/core/property"
 	"repro/internal/dataflow"
 	"repro/internal/deptest"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/privatize"
 	"repro/internal/sem"
 )
@@ -73,6 +75,7 @@ type Parallelizer struct {
 	Mod  *dataflow.ModInfo
 	Mode Mode
 
+	rec  *obs.Recorder
 	dep  *deptest.Analyzer
 	priv *privatize.Analyzer
 	prop *property.Analysis
@@ -94,6 +97,18 @@ func New(info *sem.Info, mod *dataflow.ModInfo, mode Mode) *Parallelizer {
 		p.priv.DisableSingleIndex = true
 	}
 	return p
+}
+
+// SetRecorder attaches a telemetry recorder (nil disables): the
+// parallelizer opens one "loop" span per analyzed loop, and the recorder is
+// threaded into the dependence tests and the property analysis so query
+// propagation steps trace under it. Call before Run.
+func (p *Parallelizer) SetRecorder(rec *obs.Recorder) {
+	p.rec = rec
+	p.dep.Rec = rec
+	if p.prop != nil {
+		p.prop.Rec = rec
+	}
 }
 
 // PropertyStats exposes the property-analysis counters (nil-safe).
@@ -153,6 +168,16 @@ func (p *Parallelizer) AnalyzeLoop(u *lang.Unit, loop *lang.DoStmt) *LoopReport 
 		Name:        fmt.Sprintf("%s/do_%s@%d", u.Name, loop.Var.Name, loop.Pos().Line),
 		Tests:       map[string]deptest.TestKind{},
 		PrivReasons: map[string]privatize.Reason{},
+	}
+	if p.rec.Enabled() {
+		sp := p.rec.StartSpan("loop", obs.F("name", r.Name), obs.F("unit", u.Name))
+		defer func() {
+			p.rec.Event("loop.verdict",
+				obs.F("name", r.Name),
+				obs.Fb("parallel", r.Parallel),
+				obs.F("blockers", strings.Join(r.Blockers, "; ")))
+			sp.End()
+		}()
 	}
 	block := func(format string, args ...any) {
 		msg := fmt.Sprintf(format, args...)
@@ -300,6 +325,9 @@ func (p *Parallelizer) analyzeArrays(u *lang.Unit, loop *lang.DoStmt, r *LoopRep
 			}
 		}
 		blockers = append(blockers, fmt.Sprintf("carried dependence on array %s", arr))
+		// With telemetry on, replay the relevant index-array property
+		// queries so the decision log can show which one failed.
+		p.dep.DiagnoseArray(u, loop, arr)
 	}
 	r.Properties = dedup(r.Properties)
 	return blockers

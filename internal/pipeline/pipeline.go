@@ -22,6 +22,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/deptest"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/passes"
 	"repro/internal/sem"
@@ -47,6 +48,12 @@ func (o Organization) String() string {
 	return "fig15b"
 }
 
+// PhaseTime is one pipeline phase's wall-clock duration.
+type PhaseTime struct {
+	Name     string
+	Duration time.Duration
+}
+
 // Result is a finished compilation.
 type Result struct {
 	Program *lang.Program
@@ -60,11 +67,19 @@ type Result struct {
 	CompileTime time.Duration
 	// PropertyTime is the share spent in array property analysis.
 	PropertyTime time.Duration
+	// Phases is the per-phase time breakdown, in execution order: parse,
+	// sem, inline, ipcp, one entry per scalar pass round, interchange
+	// (when enabled), reduction and parallelize.
+	Phases []PhaseTime
 	// PropertyStats are the analysis counters.
 	PropertyStats property.Stats
 	// Interchanged counts loop nests swapped by the optional interchange
 	// pass.
 	Interchanged int
+	// Recorder is the telemetry recorder the compilation ran with (nil
+	// when telemetry was off). Its event stream drives Explain and the
+	// trace dump.
+	Recorder *obs.Recorder
 
 	parallelizer *parallel.Parallelizer
 }
@@ -87,6 +102,11 @@ type Options struct {
 	// locality-improving perfect nests are swapped after the scalar
 	// transformations.
 	Interchange bool
+	// Recorder, when non-nil, collects telemetry: one span per phase, one
+	// span per analyzed loop, one event per property query propagation
+	// step, and the dependence-test verdicts. Nil runs with telemetry off
+	// at no measurable cost.
+	Recorder *obs.Recorder
 }
 
 // Compile runs the full pipeline on source text.
@@ -97,16 +117,34 @@ func Compile(src string, mode parallel.Mode, org Organization) (*Result, error) 
 // CompileOpts is Compile with optional features.
 func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options) (*Result, error) {
 	start := time.Now()
+	rec := opts.Recorder
+	res := &Result{LoC: countLoC(src), Recorder: rec}
 
+	// phase times a pipeline phase into the Result breakdown and, with
+	// telemetry on, opens a matching span.
+	phase := func(name string) func() {
+		sp := rec.StartSpan("phase", obs.F("name", name))
+		t0 := time.Now()
+		return func() {
+			res.Phases = append(res.Phases, PhaseTime{Name: name, Duration: time.Since(t0)})
+			sp.End()
+		}
+	}
+
+	end := phase("parse")
 	prog, err := lang.Parse(src)
+	end()
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
+	end = phase("sem")
 	info, err := sem.Check(prog)
 	if err != nil {
+		end()
 		return nil, fmt.Errorf("semantic analysis: %w", err)
 	}
 	mod := dataflow.ComputeMod(info)
+	end()
 
 	recheck := func() error {
 		info, err = sem.Check(prog)
@@ -119,40 +157,30 @@ func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options)
 
 	// Inlining and interprocedural constant propagation (both phase
 	// orders run these first, as in Fig. 15).
+	end = phase("inline")
 	if passes.Inline(prog) {
 		if err := recheck(); err != nil {
+			end()
 			return nil, err
 		}
 	}
+	end()
+	end = phase("ipcp")
 	if passes.PropagateGlobalConstants(prog, info, mod) {
 		if err := recheck(); err != nil {
+			end()
 			return nil, err
 		}
 	}
+	end()
 
 	// Program normalization and scalar transformations, to a fixed point
 	// (bounded).
 	for round := 0; round < 3; round++ {
-		changed := false
-		passes.FoldConstants(prog)
-		changed = passes.SimplifyControl(prog) || changed
-		if err := recheck(); err != nil {
-			return nil, err
-		}
-		changed = passes.SubstituteInductionVariables(prog, info, mod) || changed
-		if err := recheck(); err != nil {
-			return nil, err
-		}
-		changed = passes.PropagateConstants(prog, info, mod) || changed
-		if err := recheck(); err != nil {
-			return nil, err
-		}
-		changed = passes.ForwardSubstitute(prog, info, mod) || changed
-		if err := recheck(); err != nil {
-			return nil, err
-		}
-		changed = passes.EliminateDeadCode(prog, info) || changed
-		if err := recheck(); err != nil {
+		end = phase(fmt.Sprintf("scalar-%d", round+1))
+		changed, err := scalarRound(prog, &info, &mod, recheck)
+		end()
+		if err != nil {
 			return nil, err
 		}
 		if !changed {
@@ -164,41 +192,83 @@ func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options)
 	// Full mode supplies property-based evidence too).
 	interchanged := 0
 	if opts.Interchange {
+		end = phase("interchange")
 		var prop *property.Analysis
 		if mode == parallel.Full {
 			prop = property.New(info, cfg.BuildHCG(prog), mod)
+			prop.Rec = rec
 		}
 		dep := deptest.New(info, mod, prop)
+		dep.Rec = rec
 		interchanged = passes.InterchangeLoops(prog, info, mod, dep)
 		if interchanged > 0 {
 			if err := recheck(); err != nil {
+				end()
 				return nil, err
 			}
 		}
+		end()
 	}
 
 	// Reduction recognition, then parallelization (privatization + data
 	// dependence tests, both driven by the parallelizer).
+	end = phase("reduction")
 	passes.RecognizeReductions(prog, info, mod)
+	end()
+	end = phase("parallelize")
 	pz := parallel.New(info, mod, mode)
+	pz.SetRecorder(rec)
 	if org == Original && pz.Property() != nil {
 		pz.Property().Intraprocedural = true
 	}
 	reports := pz.Run()
+	end()
 
-	res := &Result{
-		Program:      prog,
-		Info:         info,
-		Mod:          mod,
-		Reports:      reports,
-		LoC:          countLoC(src),
-		CompileTime:  time.Since(start),
-		parallelizer: pz,
-	}
+	res.Program = prog
+	res.Info = info
+	res.Mod = mod
+	res.Reports = reports
+	res.CompileTime = time.Since(start)
+	res.parallelizer = pz
 	res.Interchanged = interchanged
 	res.PropertyStats = *pz.PropertyStats()
 	res.PropertyTime = res.PropertyStats.Elapsed
+	if rec.Enabled() {
+		st := res.PropertyStats
+		rec.Count("property.queries", int64(st.Queries))
+		rec.Count("property.nodes_visited", int64(st.NodesVisited))
+		rec.Count("property.loop_summaries", int64(st.LoopSummaries))
+		rec.Count("property.gather_hits", int64(st.GatherHits))
+		rec.Count("property.pattern_hits", int64(st.PatternHits))
+	}
 	return res, nil
+}
+
+// scalarRound runs one round of the scalar transformation fixed point.
+func scalarRound(prog *lang.Program, info **sem.Info, mod **dataflow.ModInfo, recheck func() error) (bool, error) {
+	changed := false
+	passes.FoldConstants(prog)
+	changed = passes.SimplifyControl(prog) || changed
+	if err := recheck(); err != nil {
+		return changed, err
+	}
+	changed = passes.SubstituteInductionVariables(prog, *info, *mod) || changed
+	if err := recheck(); err != nil {
+		return changed, err
+	}
+	changed = passes.PropagateConstants(prog, *info, *mod) || changed
+	if err := recheck(); err != nil {
+		return changed, err
+	}
+	changed = passes.ForwardSubstitute(prog, *info, *mod) || changed
+	if err := recheck(); err != nil {
+		return changed, err
+	}
+	changed = passes.EliminateDeadCode(prog, *info) || changed
+	if err := recheck(); err != nil {
+		return changed, err
+	}
+	return changed, nil
 }
 
 func countLoC(src string) int {
@@ -211,12 +281,21 @@ func countLoC(src string) int {
 	return n
 }
 
-// Summary renders a human-readable compilation report.
+// Summary renders a human-readable compilation report: the header with the
+// total and property-analysis times, the per-phase breakdown, and one line
+// per analyzed loop.
 func (r *Result) Summary() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "compiled %d LoC in %v (property analysis %v, %.1f%%)\n",
 		r.LoC, r.CompileTime.Round(time.Microsecond), r.PropertyTime.Round(time.Microsecond),
-		100*float64(r.PropertyTime)/float64(max64(1, int64(r.CompileTime))))
+		100*float64(r.PropertyTime)/float64(max(int64(1), int64(r.CompileTime))))
+	if len(r.Phases) > 0 {
+		var parts []string
+		for _, ph := range r.Phases {
+			parts = append(parts, fmt.Sprintf("%s %v", ph.Name, ph.Duration.Round(time.Microsecond)))
+		}
+		fmt.Fprintf(&sb, "  phases: %s\n", strings.Join(parts, " | "))
+	}
 	for _, lr := range r.Reports {
 		status := "serial  "
 		if lr.Parallel {
@@ -250,11 +329,4 @@ func (r *Result) Summary() string {
 		sb.WriteByte('\n')
 	}
 	return sb.String()
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

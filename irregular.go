@@ -40,6 +40,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/lang"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/pipeline"
 )
@@ -66,6 +67,11 @@ type Options struct {
 	Intraprocedural bool
 	// Interchange enables the loop-interchange companion pass.
 	Interchange bool
+	// Telemetry attaches an obs.Recorder to the compilation (and to
+	// subsequent Run calls): per-phase spans, query propagation traces,
+	// dependence-test verdicts and per-loop simulated time, driving
+	// Result.Explain, Result.SummaryJSON and the raw trace dump.
+	Telemetry bool
 }
 
 // Result is a finished compilation.
@@ -91,8 +97,13 @@ func Compile(src string, opts Options) (*Result, error) {
 	if opts.Intraprocedural {
 		org = pipeline.Original
 	}
+	var rec *obs.Recorder
+	if opts.Telemetry {
+		rec = obs.New()
+	}
 	res, err := pipeline.CompileOpts(src, opts.Mode, org, pipeline.Options{
 		Interchange: opts.Interchange,
+		Recorder:    rec,
 	})
 	if err != nil {
 		return nil, err
@@ -168,8 +179,10 @@ func (r *Result) Run(opts RunOptions) (*RunResult, error) {
 	if opts.EliminateBoundsChecks {
 		safe = r.BoundsChecks().Safe
 	}
+	m := machine.New(prof, opts.Processors)
+	m.Rec = r.Recorder // nil when telemetry was off
 	in := interp.New(r.Info, interp.Options{
-		Machine:  machine.New(prof, opts.Processors),
+		Machine:  m,
 		Out:      opts.Out,
 		MaxSteps: opts.MaxSteps,
 		SafeRefs: safe,
