@@ -31,6 +31,39 @@ import (
 )
 
 // ---------------------------------------------------------------------------
+// Batch compilation: the kernel batch through the worker pool, serial vs
+// parallel, and with the property-query memo table cold vs warm. The
+// serial/parallel pair reports real wall clock — on a single-core host the
+// parallel number is expectedly no better.
+
+func kernelBatch() []pipeline.BatchInput {
+	var ins []pipeline.BatchInput
+	for _, k := range kernels.All(kernels.Default) {
+		ins = append(ins, pipeline.BatchInput{Name: k.Name, Src: k.Source})
+	}
+	return ins
+}
+
+func benchBatch(b *testing.B, opts pipeline.Options) {
+	b.Helper()
+	ins := kernelBatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br := pipeline.CompileBatch(ins, parallel.Full, pipeline.Reorganized, opts)
+		if err := br.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchSerial(b *testing.B)   { benchBatch(b, pipeline.Options{Jobs: 1}) }
+func BenchmarkBatchParallel(b *testing.B) { benchBatch(b, pipeline.Options{Jobs: 0}) }
+func BenchmarkBatchCacheCold(b *testing.B) {
+	benchBatch(b, pipeline.Options{Jobs: 1, NoPropertyCache: true})
+}
+func BenchmarkBatchCacheWarm(b *testing.B) { benchBatch(b, pipeline.Options{Jobs: 1}) }
+
+// ---------------------------------------------------------------------------
 // Table 2: compilation time, property-analysis share, sequential time.
 
 func BenchmarkTable2(b *testing.B) {

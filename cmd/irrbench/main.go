@@ -5,10 +5,14 @@
 // Usage:
 //
 //	irrbench [-size small|default|large] [-procs 1,2,4,8,16,32] [-table2] [-table3] [-fig16]
-//	irrbench -metrics out.json
+//	irrbench -metrics out.json [-jobs N]
+//	irrbench -parallel-report out.json [-jobs N]
 //
 // With no selection flags, everything is printed. -metrics additionally
-// writes one machine-readable metrics document per kernel ("-": stdout).
+// writes one machine-readable metrics document per kernel ("-": stdout);
+// the kernels compile as a batch over -jobs workers. -parallel-report
+// measures the batch serial vs parallel and with the property-query cache
+// cold vs warm, and writes the irr-parallel/1 JSON document ("-": stdout).
 package main
 
 import (
@@ -30,6 +34,8 @@ func main() {
 	t3 := flag.Bool("table3", false, "print Table 3 only")
 	f16 := flag.Bool("fig16", false, "print Fig. 16 only")
 	metrics := flag.String("metrics", "", "write per-kernel metrics JSON to this path (\"-\" for stdout)")
+	jobs := flag.Int("jobs", 0, "worker pool size for batch compilation (0: GOMAXPROCS)")
+	parReport := flag.String("parallel-report", "", "measure serial-vs-parallel and cold-vs-warm cache; write JSON to this path (\"-\" for stdout)")
 	flag.Parse()
 
 	var sz kernels.Size
@@ -60,7 +66,7 @@ func main() {
 	}
 
 	if *metrics != "" {
-		docs, err := bench.CompileMetrics(sz)
+		docs, err := bench.CompileMetrics(sz, *jobs)
 		if err != nil {
 			fail(err)
 		}
@@ -68,18 +74,24 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		data = append(data, '\n')
-		if *metrics == "-" {
-			os.Stdout.Write(data)
-		} else if err := os.WriteFile(*metrics, data, 0o644); err != nil {
+		writeOut(*metrics, append(data, '\n'))
+	}
+	if *parReport != "" {
+		rep, err := bench.MeasureParallel(sz, *jobs, 0)
+		if err != nil {
 			fail(err)
 		}
-		if !*t2 && !*t3 && !*f16 {
-			return
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
 		}
+		writeOut(*parReport, append(data, '\n'))
+	}
+	if (*metrics != "" || *parReport != "") && !*t2 && !*t3 && !*f16 {
+		return
 	}
 
-	all := !*t2 && !*t3 && !*f16 && *metrics == ""
+	all := !*t2 && !*t3 && !*f16 && *metrics == "" && *parReport == ""
 
 	if all || *t2 {
 		rows, err := bench.Table2(sz)
@@ -103,6 +115,14 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(bench.FormatFig16(series))
+	}
+}
+
+func writeOut(path string, data []byte) {
+	if path == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(path, data, 0o644); err != nil {
+		fail(err)
 	}
 }
 

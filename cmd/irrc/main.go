@@ -7,12 +7,19 @@
 // Usage:
 //
 //	irrc [flags] file.fl
+//	irrc [flags] a.fl b.fl dir/      (batch: many files and/or directories)
 //	irrc [flags] -kernel trfd
+//
+// With more than one input (a directory counts as its *.fl files, sorted)
+// the compilations run as a batch over a worker pool; the summaries print
+// in input order and are identical for every -jobs value. Batch mode
+// rejects -run, -dump and -bounds, which are single-program reports.
 //
 // Flags:
 //
 //	-mode full|noiaa|baseline   compiler configuration (default full)
 //	-intra                      intraprocedural property analysis only
+//	-jobs N                     worker pool size (default GOMAXPROCS)
 //	-dump                       print the transformed program
 //	-run                        execute on the simulated machine
 //	-procs N                    processors for -run (default 1)
@@ -22,9 +29,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	irregular "repro"
 	"repro/internal/kernels"
@@ -38,28 +49,29 @@ func main() {
 	procs := flag.Int("procs", 1, "processors for -run")
 	mach := flag.String("machine", "origin2000", "machine profile for -run")
 	kernel := flag.String("kernel", "", "compile a bundled kernel instead of a file")
+	jobs := flag.Int("jobs", 0, "worker pool size for batch compilation (0: GOMAXPROCS)")
 	bounds := flag.Bool("bounds", false, "report bounds-check elimination and apply it when running")
 	interchange := flag.Bool("interchange", false, "enable the loop-interchange companion pass")
 	explain := flag.Bool("explain", false, "print the per-loop decision log (query traces for failed properties)")
 	metrics := flag.String("metrics", "", "write the metrics JSON document to this path (\"-\" for stdout)")
 	flag.Parse()
 
-	var src string
+	var inputs []irregular.BatchInput
 	switch {
 	case *kernel != "":
 		k, err := kernels.ByName(*kernel, kernels.Default)
 		if err != nil {
 			fail(err)
 		}
-		src = k.Source
-	case flag.NArg() == 1:
-		data, err := os.ReadFile(flag.Arg(0))
+		inputs = []irregular.BatchInput{{Name: k.Name, Src: k.Source}}
+	case flag.NArg() >= 1:
+		var err error
+		inputs, err = collectInputs(flag.Args())
 		if err != nil {
 			fail(err)
 		}
-		src = string(data)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: irrc [flags] file.fl  (or -kernel name); see -h")
+		fmt.Fprintln(os.Stderr, "usage: irrc [flags] file.fl [file2.fl dir ...]  (or -kernel name); see -h")
 		os.Exit(2)
 	}
 
@@ -75,12 +87,23 @@ func main() {
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
 
-	res, err := irregular.Compile(src, irregular.Options{
+	copts := irregular.Options{
 		Mode:            m,
 		Intraprocedural: *intra,
 		Interchange:     *interchange,
 		Telemetry:       *explain || *metrics != "",
-	})
+		Jobs:            *jobs,
+	}
+
+	if len(inputs) > 1 {
+		if *run || *dump || *bounds {
+			fail(fmt.Errorf("-run, -dump and -bounds are single-program flags; got %d inputs", len(inputs)))
+		}
+		compileBatch(inputs, copts, *explain, *metrics)
+		return
+	}
+
+	res, err := irregular.Compile(inputs[0].Src, copts)
 	if err != nil {
 		fail(err)
 	}
@@ -127,6 +150,93 @@ func main() {
 		} else if err := os.WriteFile(*metrics, data, 0o644); err != nil {
 			fail(err)
 		}
+	}
+}
+
+// collectInputs expands the positional arguments into batch inputs: a
+// regular file is read as-is; a directory contributes its *.fl entries,
+// sorted by name.
+func collectInputs(args []string) ([]irregular.BatchInput, error) {
+	var paths []string
+	for _, arg := range args {
+		st, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			paths = append(paths, arg)
+			continue
+		}
+		entries, err := os.ReadDir(arg)
+		if err != nil {
+			return nil, err
+		}
+		var fl []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".fl") {
+				fl = append(fl, filepath.Join(arg, e.Name()))
+			}
+		}
+		if len(fl) == 0 {
+			return nil, fmt.Errorf("%s: no .fl files", arg)
+		}
+		sort.Strings(fl)
+		paths = append(paths, fl...)
+	}
+	inputs := make([]irregular.BatchInput, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, irregular.BatchInput{Name: p, Src: string(data)})
+	}
+	return inputs, nil
+}
+
+// compileBatch runs the multi-input mode: summaries in input order, then
+// the optional decision logs and the metrics document (one entry per
+// input). A failed input does not stop the others; the exit code is 1 if
+// any failed.
+func compileBatch(inputs []irregular.BatchInput, opts irregular.Options, explain bool, metrics string) {
+	br := irregular.CompileBatch(inputs, opts)
+	fmt.Print(br.Summary())
+	if explain {
+		fmt.Println()
+		fmt.Print(br.Explain())
+	}
+	if metrics != "" {
+		type item struct {
+			Name    string      `json:"name"`
+			Error   string      `json:"error,omitempty"`
+			Metrics interface{} `json:"metrics,omitempty"`
+		}
+		doc := struct {
+			Schema string `json:"schema"`
+			Items  []item `json:"items"`
+		}{Schema: "irr-metrics-batch/1"}
+		for _, it := range br.Items {
+			bi := item{Name: it.Name}
+			if it.Err != nil {
+				bi.Error = it.Err.Error()
+			} else {
+				bi.Metrics = it.Result.Metrics()
+			}
+			doc.Items = append(doc.Items, bi)
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		data = append(data, '\n')
+		if metrics == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(metrics, data, 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if err := br.Err(); err != nil {
+		fail(err)
 	}
 }
 

@@ -23,18 +23,28 @@ import (
 
 // CompileMetrics compiles every kernel (Full mode, reorganized phase order)
 // with telemetry on and returns one metrics document per program — the
-// payload of `irrbench -metrics`.
-func CompileMetrics(size kernels.Size) (map[string]*pipeline.Metrics, error) {
+// payload of `irrbench -metrics`. The kernels compile as one batch over a
+// worker pool of jobs goroutines (0: GOMAXPROCS); the documents are the
+// same for every job count.
+func CompileMetrics(size kernels.Size, jobs int) (map[string]*pipeline.Metrics, error) {
+	br := pipeline.CompileBatch(kernelInputs(size), parallel.Full, pipeline.Reorganized,
+		pipeline.Options{Recorder: obs.New(), Jobs: jobs})
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
 	out := map[string]*pipeline.Metrics{}
-	for _, k := range kernels.All(size) {
-		res, err := pipeline.CompileOpts(k.Source, parallel.Full, pipeline.Reorganized,
-			pipeline.Options{Recorder: obs.New()})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", k.Name, err)
-		}
-		out[k.Name] = res.Metrics()
+	for _, it := range br.Items {
+		out[it.Name] = it.Result.Metrics()
 	}
 	return out, nil
+}
+
+func kernelInputs(size kernels.Size) []pipeline.BatchInput {
+	var ins []pipeline.BatchInput
+	for _, k := range kernels.All(size) {
+		ins = append(ins, pipeline.BatchInput{Name: k.Name, Src: k.Source})
+	}
+	return ins
 }
 
 // Table2Row is one program's compilation and sequential-execution record.

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"reflect"
+	"regexp"
+	"runtime"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/pipeline"
+)
+
+// ParallelReportSchema identifies the JSON layout of the parallel/cache
+// measurement document (BENCH_parallel.json).
+const ParallelReportSchema = "irr-parallel/1"
+
+// ParallelReport records the serial-vs-parallel and cold-vs-warm-cache
+// measurement of one kernel batch — the payload of
+// `irrbench -parallel-report`.
+type ParallelReport struct {
+	Schema string `json:"schema"`
+	// Host shape: on a single-core host SpeedupX near 1.0 is the expected
+	// honest result, so the report always carries the core counts.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// Jobs is the worker-pool size of the parallel run.
+	Jobs int `json:"jobs"`
+	// SerialNs / ParallelNs are best-of-N wall-clock times for the batch
+	// compiled with one worker and with Jobs workers (cache enabled).
+	SerialNs   int64   `json:"serial_ns"`
+	ParallelNs int64   `json:"parallel_ns"`
+	SpeedupX   float64 `json:"speedup_x"`
+	// ColdCacheNs / WarmCacheNs isolate the property-query memo table:
+	// the same single-worker batch with the cache disabled vs enabled.
+	ColdCacheNs   int64   `json:"cold_cache_ns"`
+	WarmCacheNs   int64   `json:"warm_cache_ns"`
+	CacheSpeedupX float64 `json:"cache_speedup_x"`
+	// Cache counters of the warm run.
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// DeterministicOutput reports whether the -jobs 1 and -jobs N batches
+	// produced identical summaries (durations masked), decision logs and
+	// counters.
+	DeterministicOutput bool `json:"deterministic_output"`
+}
+
+// benchDurations masks rendered durations and percentages, which naturally
+// differ between timed runs of identical compilations.
+var benchDurations = regexp.MustCompile(`\d+(\.\d+)?(ns|µs|ms|s|%)`)
+
+// MeasureParallel compiles the kernel batch repeatedly and reports
+// serial-vs-parallel wall clock, cold-vs-warm cache wall clock, the cache
+// counters, and whether the parallel run's output matched the serial one.
+// jobs < 1 means GOMAXPROCS; iters < 1 means a best-of-5.
+func MeasureParallel(size kernels.Size, jobs, iters int) (*ParallelReport, error) {
+	if jobs < 1 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if iters < 1 {
+		iters = 5
+	}
+	inputs := kernelInputs(size)
+	compile := func(opts pipeline.Options) (*pipeline.BatchResult, error) {
+		br := pipeline.CompileBatch(inputs, parallel.Full, pipeline.Reorganized, opts)
+		return br, br.Err()
+	}
+	bestOf := func(opts pipeline.Options) (time.Duration, *pipeline.BatchResult, error) {
+		var best time.Duration
+		var last *pipeline.BatchResult
+		for i := 0; i < iters; i++ {
+			t0 := time.Now()
+			br, err := compile(opts)
+			d := time.Since(t0)
+			if err != nil {
+				return 0, nil, err
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+			last = br
+		}
+		return best, last, nil
+	}
+
+	serialT, serialBR, err := bestOf(pipeline.Options{Jobs: 1})
+	if err != nil {
+		return nil, err
+	}
+	parallelT, _, err := bestOf(pipeline.Options{Jobs: jobs})
+	if err != nil {
+		return nil, err
+	}
+	coldT, _, err := bestOf(pipeline.Options{Jobs: 1, NoPropertyCache: true})
+	if err != nil {
+		return nil, err
+	}
+
+	// Determinism: one telemetry-on run per job count, outputs compared.
+	ser, err := compile(pipeline.Options{Jobs: 1, Recorder: obs.New()})
+	if err != nil {
+		return nil, err
+	}
+	par, err := compile(pipeline.Options{Jobs: jobs, Recorder: obs.New()})
+	if err != nil {
+		return nil, err
+	}
+	deterministic := benchDurations.ReplaceAllString(ser.Summary(), "T") ==
+		benchDurations.ReplaceAllString(par.Summary(), "T") &&
+		ser.Explain() == par.Explain() &&
+		reflect.DeepEqual(ser.Counters(), par.Counters())
+
+	st := serialBR.Stats()
+	rep := &ParallelReport{
+		Schema:              ParallelReportSchema,
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		NumCPU:              runtime.NumCPU(),
+		Jobs:                jobs,
+		SerialNs:            int64(serialT),
+		ParallelNs:          int64(parallelT),
+		SpeedupX:            ratio(serialT, parallelT),
+		ColdCacheNs:         int64(coldT),
+		WarmCacheNs:         int64(serialT),
+		CacheSpeedupX:       ratio(coldT, serialT),
+		CacheHits:           int64(st.CacheHits),
+		CacheMisses:         int64(st.CacheMisses),
+		DeterministicOutput: deterministic,
+	}
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		rep.CacheHitRate = float64(st.CacheHits) / float64(lookups)
+	}
+	return rep, nil
+}
+
+func ratio(num, den time.Duration) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

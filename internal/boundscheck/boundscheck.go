@@ -239,8 +239,12 @@ func (a *Analyzer) indirectBounds(u *lang.Unit, at lang.Stmt, e *expr.Expr, env 
 		if qlo == nil || qhi == nil {
 			return expr.Range{}, false
 		}
-		prop := property.NewBounds(ia)
-		if !a.Prop.Verify(prop, at, sectionOf(ia, qlo, qhi)) || prop.Lo == nil || prop.Hi == nil {
+		iaName := ia
+		p, ok := a.Prop.VerifyCached(
+			func() property.Property { return property.NewBounds(iaName) },
+			at, sectionOf(ia, qlo, qhi))
+		prop, isB := p.(*property.Bounds)
+		if !ok || !isB || prop.Lo == nil || prop.Hi == nil {
 			return expr.Range{}, false
 		}
 		pl := a.resolveParams(u, prop.Lo)

@@ -2,7 +2,9 @@ package cfg
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/lang"
 )
@@ -159,16 +161,49 @@ func hAddEdge(from, to *HNode) {
 
 // BuildHCG constructs hierarchical control graphs for every unit.
 func BuildHCG(prog *lang.Program) *HProgram {
+	return BuildHCGJobs(prog, 1)
+}
+
+// BuildHCGJobs is BuildHCG with the per-unit builds spread over up to jobs
+// goroutines. Each unit's section graph is self-contained (own ID counter,
+// own label table), so the builds are independent; the per-unit results are
+// merged into the HProgram in prog.Units() order, making the result — node
+// IDs, StmtNode first-wins indexing, everything — identical to the serial
+// build. jobs < 1 means GOMAXPROCS.
+func BuildHCGJobs(prog *lang.Program, jobs int) *HProgram {
 	hp := &HProgram{
 		Program:  prog,
 		Units:    map[*lang.Unit]*HGraph{},
 		StmtNode: map[lang.Stmt]*HNode{},
 	}
-	for _, u := range prog.Units() {
-		b := &hcgBuilder{unit: u, labels: map[int]*HNode{}}
-		g := b.buildSection(u.Body, nil)
-		g.Unit = u
-		b.resolveGotos(g)
+	units := prog.Units()
+	if jobs < 1 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(units) {
+		jobs = len(units)
+	}
+	graphs := make([]*HGraph, len(units))
+	if jobs <= 1 {
+		for i, u := range units {
+			graphs[i] = buildUnitHCG(u)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, jobs)
+		for i, u := range units {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				graphs[i] = buildUnitHCG(u)
+			}()
+		}
+		wg.Wait()
+	}
+	for i, u := range units {
+		g := graphs[i]
 		hp.Units[u] = g
 		var index func(sec *HGraph)
 		index = func(sec *HGraph) {
@@ -186,6 +221,16 @@ func BuildHCG(prog *lang.Program) *HProgram {
 		index(g)
 	}
 	return hp
+}
+
+// buildUnitHCG builds one unit's section graph; safe to call concurrently
+// for distinct units.
+func buildUnitHCG(u *lang.Unit) *HGraph {
+	b := &hcgBuilder{unit: u, labels: map[int]*HNode{}}
+	g := b.buildSection(u.Body, nil)
+	g.Unit = u
+	b.resolveGotos(g)
+	return g
 }
 
 // buildSection builds one section graph from a statement list.

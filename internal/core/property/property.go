@@ -39,8 +39,29 @@ type Stats struct {
 	LoopSummaries int
 	GatherHits    int
 	PatternHits   int
+	// CacheHits / CacheMisses count VerifyCached lookups answered from /
+	// added to the memo table; CacheInvalidations counts whole-table drops
+	// (program mutation between queries). Queries counts only actual
+	// propagations, so a cache hit increments CacheHits but not Queries.
+	CacheHits          int
+	CacheMisses        int
+	CacheInvalidations int
 	// Elapsed is the wall-clock time spent answering queries.
 	Elapsed time.Duration
+}
+
+// Add accumulates o into s (durations and counters alike), merging the
+// bookkeeping of several Analysis instances used in one compilation.
+func (s *Stats) Add(o Stats) {
+	s.Queries += o.Queries
+	s.NodesVisited += o.NodesVisited
+	s.LoopSummaries += o.LoopSummaries
+	s.GatherHits += o.GatherHits
+	s.PatternHits += o.PatternHits
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheInvalidations += o.CacheInvalidations
+	s.Elapsed += o.Elapsed
 }
 
 // Analysis bundles the program-wide structures the property analysis needs.
@@ -60,9 +81,13 @@ type Analysis struct {
 	// This models the original phase organization of Fig. 15(a), which
 	// could not support interprocedural property analysis.
 	Intraprocedural bool
+	// NoCache disables the VerifyCached memo table: every query
+	// re-propagates (the cold-cache benchmark configuration).
+	NoCache bool
 
 	flat  map[*lang.Unit]*cfg.Graph
 	loops map[*lang.Unit]map[lang.Stmt]*cfg.Loop
+	memo  map[memoKey]memoEntry
 }
 
 // New builds an Analysis over a checked program.

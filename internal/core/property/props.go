@@ -55,6 +55,11 @@ func (c *Ctx) SeenModified(vars, arrays []string) bool {
 // Property is one verifiable/derivable index-array property. Kill results
 // are MAY approximations, Gen results MUST approximations.
 type Property interface {
+	// Kind names the property class ("bounds", "injective", ...). Unlike
+	// String, it is stable across verification: derive-mode properties
+	// accumulate facts that change their String rendering, so the memo
+	// table (VerifyCached) keys on Kind plus the target array instead.
+	Kind() string
 	// TargetArray is the index array the property concerns.
 	TargetArray() string
 	// Relational marks whole-section properties (injectivity,
@@ -129,6 +134,8 @@ type Bounds struct {
 func NewBounds(array string) *Bounds {
 	return &Bounds{base: base{array: array, ndims: 1}}
 }
+
+func (p *Bounds) Kind() string { return "bounds" }
 
 func (p *Bounds) Relational() bool { return false }
 
@@ -260,6 +267,7 @@ func NewInjective(array string) *Injective {
 	return &Injective{base: base{array: array, ndims: 1}}
 }
 
+func (p *Injective) Kind() string                   { return "injective" }
 func (p *Injective) Relational() bool               { return true }
 func (p *Injective) Mentions() ([]string, []string) { return nil, nil }
 func (p *Injective) String() string                 { return fmt.Sprintf("injective(%s)", p.array) }
@@ -308,6 +316,7 @@ func NewMonotonic(array string) *Monotonic {
 	return &Monotonic{base: base{array: array, ndims: 1}}
 }
 
+func (p *Monotonic) Kind() string                   { return "monotonic" }
 func (p *Monotonic) Relational() bool               { return true }
 func (p *Monotonic) Mentions() ([]string, []string) { return nil, nil }
 func (p *Monotonic) String() string                 { return fmt.Sprintf("monotonic(%s)", p.array) }
@@ -407,6 +416,7 @@ func NewClosedFormValue(array string) *ClosedFormValue {
 	return &ClosedFormValue{base: base{array: array, ndims: 1}}
 }
 
+func (p *ClosedFormValue) Kind() string                   { return "closed-form-value" }
 func (p *ClosedFormValue) Relational() bool               { return false }
 func (p *ClosedFormValue) Mentions() ([]string, []string) { return p.vars, p.arrays }
 
@@ -513,6 +523,7 @@ func NewClosedFormDistance(array string) *ClosedFormDistance {
 	return &ClosedFormDistance{base: base{array: array, ndims: 1}}
 }
 
+func (p *ClosedFormDistance) Kind() string                   { return "closed-form-distance" }
 func (p *ClosedFormDistance) Relational() bool               { return false }
 func (p *ClosedFormDistance) Mentions() ([]string, []string) { return p.vars, p.arrays }
 

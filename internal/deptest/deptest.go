@@ -10,7 +10,6 @@
 package deptest
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/core/property"
@@ -57,40 +56,36 @@ type Analyzer struct {
 	// Rec, when non-nil, receives one "dep.verdict" event per array and
 	// loop, recording which dependence test fired (or why none did).
 	Rec *obs.Recorder
-
-	// queryCache memoizes property verifications: the same (property
-	// kind, array, section, statement) query is repeated across the
-	// reference pairs of one loop and is deterministic for an unchanged
-	// program.
-	queryCache map[string]cachedQuery
-}
-
-type cachedQuery struct {
-	ok   bool
-	prop property.Property
 }
 
 // New builds an Analyzer. prop may be nil.
 func New(info *sem.Info, mod *dataflow.ModInfo, prop *property.Analysis) *Analyzer {
 	return &Analyzer{
 		Info: info, Mod: mod, Prop: prop,
-		Assume:     expr.Assumptions{},
-		queryCache: map[string]cachedQuery{},
+		Assume: expr.Assumptions{},
 	}
 }
 
-// verifyCached runs (or replays) a property verification. make builds the
-// fresh property instance; on a cache hit the previously derived instance
-// is returned instead.
-func (a *Analyzer) verifyCached(kind, array string, sec *section.Section, at lang.Stmt, make func() property.Property) (property.Property, bool) {
-	key := fmt.Sprintf("%s|%s|%s|%p", kind, array, sec, at)
-	if c, ok := a.queryCache[key]; ok {
-		return c.prop, c.ok
+// verifyCached runs (or replays) a property verification through the
+// analysis-wide memo table (property.VerifyCached): the same (node,
+// property, section) query repeats across the reference pairs of one loop
+// and across loops sharing index arrays, and is deterministic for an
+// unchanged program. mk builds the fresh property instance; on a hit the
+// previously derived instance is returned instead. Callers guarantee
+// a.Prop != nil (every property-based test is gated on it).
+func (a *Analyzer) verifyCached(sec *section.Section, at lang.Stmt, mk func() property.Property) (property.Property, bool) {
+	return a.Prop.VerifyCached(mk, at, sec)
+}
+
+// Invalidate drops every memoized property verdict. Passes that mutate the
+// program mid-analysis (loop interchange) must call it after each mutation:
+// cached entries describe the pre-mutation program and would otherwise
+// replay stale verdicts — the bug the pointer-keyed ad-hoc cache used to
+// have. No-op without property analysis.
+func (a *Analyzer) Invalidate() {
+	if a.Prop != nil {
+		a.Prop.InvalidateCache()
 	}
-	prop := make()
-	ok := a.Prop.Verify(prop, at, sec)
-	a.queryCache[key] = cachedQuery{ok: ok, prop: prop}
-	return prop, ok
 }
 
 // ref is one array reference with its inner-loop environment.

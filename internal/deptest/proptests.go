@@ -72,7 +72,7 @@ func (a *Analyzer) injectiveIndependent(fa, fb *expr.Expr, v string, loop *lang.
 	if !ok {
 		return false, nil
 	}
-	prop, ok := a.verifyCached("injective", p, section.New(p, lo, hi), A.stmt,
+	prop, ok := a.verifyCached(section.New(p, lo, hi), A.stmt,
 		func() property.Property { return property.NewInjective(p) })
 	if !ok {
 		return false, nil
@@ -117,7 +117,7 @@ func (a *Analyzer) cfvIndependent(fa, fb *expr.Expr, v string, loop *lang.DoStmt
 			return false, TestNone, nil
 		}
 		iaName := ia
-		p, ok := a.verifyCached("cfv", ia, qsec, A.stmt,
+		p, ok := a.verifyCached(qsec, A.stmt,
 			func() property.Property { return property.NewClosedFormValue(iaName) })
 		prop, _ := p.(*property.ClosedFormValue)
 		if !ok || prop == nil || prop.Value == nil {
@@ -299,7 +299,7 @@ func (a *Analyzer) SimpleOffsetLength(u *lang.Unit, loop *lang.DoStmt, arr strin
 		first = r.stmt
 		break
 	}
-	pc, ok := a.verifyCached("cfd", ptr, qsec, first,
+	pc, ok := a.verifyCached(qsec, first,
 		func() property.Property { return property.NewClosedFormDistance(ptr) })
 	prop, _ := pc.(*property.ClosedFormDistance)
 	if !ok || prop == nil || prop.Dist == nil {
@@ -309,8 +309,9 @@ func (a *Analyzer) SimpleOffsetLength(u *lang.Unit, loop *lang.DoStmt, arr strin
 	distAtV := prop.DistAt(expr.Var(v))
 	assume := a.envAssumptions(loop, rs[0], rs[0])
 	for _, da := range arrayAtomNames(prop.Dist) {
-		bp, okb := a.verifyCached("bounds", da, section.New(da, lo, hi), first,
-			func() property.Property { return property.NewBounds(da) })
+		daName := da
+		bp, okb := a.verifyCached(section.New(da, lo, hi), first,
+			func() property.Property { return property.NewBounds(daName) })
 		bprop, _ := bp.(*property.Bounds)
 		if !okb || bprop == nil || bprop.Lo == nil || !expr.ProveGE0(bprop.Lo, assume) {
 			return false, nil
@@ -364,7 +365,7 @@ func (a *Analyzer) offsetLengthIndependent(fa, fb *expr.Expr, v string, loop *la
 			continue
 		}
 		offName := off
-		pc, ok := a.verifyCached("cfd", off, qsec, A.stmt,
+		pc, ok := a.verifyCached(qsec, A.stmt,
 			func() property.Property { return property.NewClosedFormDistance(offName) })
 		prop, _ := pc.(*property.ClosedFormDistance)
 		if !ok || prop == nil || prop.Dist == nil {
@@ -385,7 +386,7 @@ func (a *Analyzer) offsetLengthIndependent(fa, fb *expr.Expr, v string, loop *la
 					bsec.Array = da
 				}
 				daName := da
-				bpc, okb := a.verifyCached("bounds", da, bsec, A.stmt,
+				bpc, okb := a.verifyCached(bsec, A.stmt,
 					func() property.Property { return property.NewBounds(daName) })
 				bp, _ := bpc.(*property.Bounds)
 				if !okb || bp == nil || bp.Lo == nil || !expr.ProveGE0(bp.Lo, assume) {

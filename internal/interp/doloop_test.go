@@ -1,0 +1,105 @@
+package interp
+
+import (
+	"math"
+	"testing"
+)
+
+// F77 semantics under test: a DO loop runs tripCount iterations and leaves
+// the index at lo + tripCount*step — the first out-of-range value, or lo
+// itself when the loop is zero-trip.
+
+func TestTripCountU(t *testing.T) {
+	cases := []struct {
+		name         string
+		lo, hi, step int64
+		want         uint64
+	}{
+		{"unit step", 1, 10, 1, 10},
+		{"unit step down", 10, 1, -1, 10},
+		{"wrong direction up", 10, 1, 1, 0},
+		{"wrong direction down", 1, 10, -1, 0},
+		{"lo==hi up", 5, 5, 1, 1},
+		{"lo==hi down", 5, 5, -3, 1},
+		{"partial last stride", 1, 10, 3, 4},
+		{"partial last stride down", 10, 1, -3, 4},
+		{"near MaxInt64", math.MaxInt64 - 4, math.MaxInt64 - 2, 2, 2},
+		{"near MinInt64", math.MinInt64 + 4, math.MinInt64 + 1, -2, 2},
+		// The span hi-lo here is 2^63: it overflows int64 subtraction but
+		// not the uint64 arithmetic tripCountU uses.
+		{"span exceeds MaxInt64", -(int64(1) << 62), int64(1) << 62, int64(1) << 62, 3},
+		{"span exceeds MaxInt64 down", int64(1) << 62, -(int64(1) << 62), -(int64(1) << 62), 3},
+		// -step must not overflow when step is MinInt64.
+		{"step MinInt64", 5, -5, math.MinInt64, 1},
+		{"step MinInt64 zero trip", -5, 5, math.MinInt64, 0},
+		// Full int64 sweep: 2^64 trips are unrepresentable; saturate.
+		{"full span saturates", math.MinInt64, math.MaxInt64, 1, math.MaxUint64},
+		{"full span saturates down", math.MaxInt64, math.MinInt64, -1, math.MaxUint64},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := tripCountU(c.lo, c.hi, c.step); got != c.want {
+				t.Errorf("tripCountU(%d, %d, %d) = %d, want %d", c.lo, c.hi, c.step, got, c.want)
+			}
+		})
+	}
+}
+
+// TestDoLoopFinalIndex drives whole programs whose bounds arrive through
+// globals, so extreme values need no source literals.
+func TestDoLoopFinalIndex(t *testing.T) {
+	const src = `
+program p
+  integer i, n, lo, hi, st
+  n = 0
+  do i = lo, hi, st
+    n = n + 1
+  end do
+end
+`
+	cases := []struct {
+		name         string
+		lo, hi, step int64
+		trips        int64
+		finalIdx     int64
+	}{
+		{"step -2", 10, 1, -2, 5, 0},
+		{"lo==hi", 7, 7, 1, 1, 8},
+		{"lo==hi step -3", 7, 7, -3, 1, 4},
+		{"zero trip up", 5, 1, 1, 0, 5},
+		{"zero trip down", 1, 5, -1, 0, 1},
+		// The old v += step iteration wrapped past MaxInt64 here and never
+		// failed the v <= hi test; the loop spun until the step budget.
+		{"overflow-adjacent hi", math.MaxInt64 - 4, math.MaxInt64 - 2, 2, 2, math.MaxInt64},
+		{"overflow-adjacent lo", math.MinInt64 + 4, math.MinInt64 + 1, -2, 2, math.MinInt64},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			in := runSrc(t, src, Options{}, func(in *Interp) {
+				if err := in.SetInt("lo", c.lo); err != nil {
+					t.Fatalf("SetInt(lo): %v", err)
+				}
+				if err := in.SetInt("hi", c.hi); err != nil {
+					t.Fatalf("SetInt(hi): %v", err)
+				}
+				if err := in.SetInt("st", c.step); err != nil {
+					t.Fatalf("SetInt(st): %v", err)
+				}
+			})
+			n, err := in.GlobalInt("n")
+			if err != nil {
+				t.Fatalf("GlobalInt(n): %v", err)
+			}
+			if n != c.trips {
+				t.Errorf("trips = %d, want %d", n, c.trips)
+			}
+			i, err := in.GlobalInt("i")
+			if err != nil {
+				t.Fatalf("GlobalInt(i): %v", err)
+			}
+			if i != c.finalIdx {
+				t.Errorf("final index = %d, want %d", i, c.finalIdx)
+			}
+		})
+	}
+}

@@ -540,9 +540,12 @@ func (e *ex) runSerialDo(s *lang.DoStmt) (signal, int) {
 	lo, hi, step := e.doRange(s)
 	sym := e.scope.Lookup(s.Var.Name)
 	cellV := e.store.scalar(sym)
-	for v := lo; (step > 0 && v <= hi) || (step < 0 && v >= hi); v += step {
+	// Iterate by counter, not by `v += step`: near the int64 extremes the
+	// increment would wrap past hi and the v<=hi test would never fail.
+	n := tripCountU(lo, hi, step)
+	for k := uint64(0); k < n; k++ {
 		in.charge(3)
-		cellV.v = intV(v)
+		cellV.v = intV(lo + int64(k)*step)
 		sig, lbl := e.runList(s.Body)
 		if sig == sigJump {
 			return sig, lbl
@@ -551,21 +554,39 @@ func (e *ex) runSerialDo(s *lang.DoStmt) (signal, int) {
 			return sig, 0
 		}
 	}
-	// Fortran-style: the loop variable holds the first out-of-range value.
-	n := tripCount(lo, hi, step)
-	cellV.v = intV(lo + n*step)
+	// Fortran-style: the loop variable holds the first out-of-range value
+	// (lo itself for a zero-trip loop).
+	cellV.v = intV(lo + int64(n)*step)
 	return sigNone, 0
 }
 
-func tripCount(lo, hi, step int64) int64 {
+// tripCountU computes the F77 DO trip count max(0, (hi-lo+step)/step) in
+// uint64 arithmetic: the span hi-lo can exceed MaxInt64 (e.g. lo negative,
+// hi positive), and two's-complement conversion makes uint64(hi)-uint64(lo)
+// exact for any in-range operands. -uint64(step) likewise negates
+// step == MinInt64 without overflow.
+// The one unrepresentable case — every int64 visited, span 2^64-1 with
+// |step| 1 — saturates to MaxUint64 instead of wrapping to zero trips; the
+// interpreter's step budget aborts such a loop long before it matters.
+func tripCountU(lo, hi, step int64) uint64 {
+	var q uint64
 	if step > 0 {
 		if lo > hi {
 			return 0
 		}
-		return (hi-lo)/step + 1
+		q = (uint64(hi) - uint64(lo)) / uint64(step)
+	} else {
+		if lo < hi {
+			return 0
+		}
+		q = (uint64(lo) - uint64(hi)) / (-uint64(step))
 	}
-	if lo < hi {
-		return 0
+	if q == math.MaxUint64 {
+		return math.MaxUint64
 	}
-	return (lo-hi)/(-step) + 1
+	return q + 1
+}
+
+func tripCount(lo, hi, step int64) int64 {
+	return int64(tripCountU(lo, hi, step))
 }

@@ -83,9 +83,19 @@ type Parallelizer struct {
 
 // New builds a Parallelizer in the given mode.
 func New(info *sem.Info, mod *dataflow.ModInfo, mode Mode) *Parallelizer {
+	return NewWithHCG(info, mod, mode, nil)
+}
+
+// NewWithHCG is New with a pre-built HCG (used by the pipeline, which
+// builds the graphs as its own phase — possibly concurrently). A nil hp
+// falls back to building the graphs here; outside Full mode hp is unused.
+func NewWithHCG(info *sem.Info, mod *dataflow.ModInfo, mode Mode, hp *cfg.HProgram) *Parallelizer {
 	var prop *property.Analysis
 	if mode == Full {
-		prop = property.New(info, cfg.BuildHCG(info.Program), mod)
+		if hp == nil {
+			hp = cfg.BuildHCG(info.Program)
+		}
+		prop = property.New(info, hp, mod)
 	}
 	p := &Parallelizer{
 		Info: info, Mod: mod, Mode: mode,

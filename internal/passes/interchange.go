@@ -45,6 +45,9 @@ func InterchangeLoops(prog *lang.Program, info *sem.Info, mod *dataflow.ModInfo,
 				return true
 			}
 			swapLoops(outer, inner)
+			// The swap rewrites loop headers in place: memoized property
+			// verdicts keyed on the pre-swap bounds are now stale.
+			dep.Invalidate()
 			count++
 			return false // the swapped nest needs no re-visit
 		})

@@ -1,0 +1,154 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/core/property"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// BatchInput is one source file of a batch compilation.
+type BatchInput struct {
+	// Name labels the input in summaries and metrics (a file path, a
+	// kernel name).
+	Name string
+	// Src is the source text.
+	Src string
+}
+
+// BatchItem is one finished (or failed) compilation of a batch.
+type BatchItem struct {
+	Name   string
+	Result *Result // nil when Err != nil
+	Err    error
+}
+
+// BatchResult holds the per-input outcomes of CompileBatch, in input order
+// regardless of completion order.
+type BatchResult struct {
+	Items []BatchItem
+}
+
+// CompileBatch compiles every input through CompileOpts, fanning the
+// inputs over a worker pool of opts.Jobs goroutines (0 or negative:
+// GOMAXPROCS). Each input is an independent compilation — its own program,
+// its own analyses, and, when telemetry is requested, its own recorder —
+// so the fan-out cannot interleave state; results are collected in input
+// order, which makes every aggregate (Summary, Counters, metrics JSON)
+// byte-identical for any job count.
+//
+// opts.Recorder acts as a flag here: when it is enabled, every item gets a
+// fresh recorder (exposed as its Result.Recorder); events are never written
+// to the shared one, whose stream would otherwise depend on scheduling.
+func CompileBatch(inputs []BatchInput, mode parallel.Mode, org Organization, opts Options) *BatchResult {
+	br := &BatchResult{Items: make([]BatchItem, len(inputs))}
+	jobs := opts.Jobs
+	if jobs < 1 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(inputs) {
+		jobs = len(inputs)
+	}
+	telemetry := opts.Recorder.Enabled()
+	compileOne := func(i int) {
+		in := inputs[i]
+		itemOpts := opts
+		if telemetry {
+			itemOpts.Recorder = obs.New()
+		} else {
+			itemOpts.Recorder = nil
+		}
+		res, err := CompileOpts(in.Src, mode, org, itemOpts)
+		if err != nil {
+			err = fmt.Errorf("%s: %w", in.Name, err)
+		}
+		br.Items[i] = BatchItem{Name: in.Name, Result: res, Err: err}
+	}
+	if jobs <= 1 {
+		for i := range inputs {
+			compileOne(i)
+		}
+		return br
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, jobs)
+	for i := range inputs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			compileOne(i)
+		}()
+	}
+	wg.Wait()
+	return br
+}
+
+// Err returns the first failed input's error (in input order), or nil.
+func (br *BatchResult) Err() error {
+	for _, it := range br.Items {
+		if it.Err != nil {
+			return it.Err
+		}
+	}
+	return nil
+}
+
+// Summary concatenates the per-input summaries in input order, each under
+// a "== name ==" header; failed inputs report their error instead.
+func (br *BatchResult) Summary() string {
+	var sb strings.Builder
+	for _, it := range br.Items {
+		fmt.Fprintf(&sb, "== %s ==\n", it.Name)
+		if it.Err != nil {
+			fmt.Fprintf(&sb, "error: %v\n", it.Err)
+			continue
+		}
+		sb.WriteString(it.Result.Summary())
+	}
+	return sb.String()
+}
+
+// Explain concatenates the per-input decision logs (empty without
+// telemetry), under the same headers as Summary.
+func (br *BatchResult) Explain() string {
+	var sb strings.Builder
+	for _, it := range br.Items {
+		if it.Err != nil || it.Result == nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "== %s ==\n", it.Name)
+		sb.WriteString(it.Result.Explain())
+	}
+	return sb.String()
+}
+
+// Counters sums the metrics counters of every successful item.
+func (br *BatchResult) Counters() map[string]int64 {
+	out := map[string]int64{}
+	for _, it := range br.Items {
+		if it.Err != nil {
+			continue
+		}
+		for k, v := range it.Result.Metrics().Counters {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// Stats sums the property-analysis counters of every successful item.
+func (br *BatchResult) Stats() property.Stats {
+	var st property.Stats
+	for _, it := range br.Items {
+		if it.Err == nil {
+			st.Add(it.Result.PropertyStats)
+		}
+	}
+	return st
+}

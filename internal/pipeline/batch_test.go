@@ -1,0 +1,104 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+func batchInputs() []BatchInput {
+	var ins []BatchInput
+	for _, k := range kernels.All(kernels.Small) {
+		ins = append(ins, BatchInput{Name: k.Name, Src: k.Source})
+	}
+	return ins
+}
+
+// runBatch compiles the five kernels with the given job count and returns
+// the durations-normalized summary, the explain log, and the counters.
+func runBatch(t *testing.T, jobs int) (summary, explain string, counters map[string]int64) {
+	t.Helper()
+	br := CompileBatch(batchInputs(), parallel.Full, Reorganized, Options{
+		Recorder: obs.New(),
+		Jobs:     jobs,
+	})
+	if err := br.Err(); err != nil {
+		t.Fatalf("jobs=%d: %v", jobs, err)
+	}
+	return durations.ReplaceAllString(br.Summary(), "T"), br.Explain(), br.Counters()
+}
+
+// TestBatchDeterministic is the acceptance check of the concurrency work:
+// compiling the same batch with one worker and with eight must produce the
+// same summary (modulo wall-clock durations), a byte-identical decision
+// log, and identical analysis counters.
+func TestBatchDeterministic(t *testing.T) {
+	sum1, exp1, cnt1 := runBatch(t, 1)
+	sum8, exp8, cnt8 := runBatch(t, 8)
+	if sum1 != sum8 {
+		t.Errorf("summary differs between -jobs 1 and -jobs 8:\n--- jobs=1\n%s\n--- jobs=8\n%s", sum1, sum8)
+	}
+	if exp1 != exp8 {
+		t.Errorf("explain log differs between -jobs 1 and -jobs 8")
+	}
+	if !reflect.DeepEqual(cnt1, cnt8) {
+		t.Errorf("counters differ:\njobs=1: %v\njobs=8: %v", cnt1, cnt8)
+	}
+}
+
+// TestBatchCacheCounters asserts the memo table earns hits on the real
+// kernels and that disabling it removes them without changing verdicts.
+func TestBatchCacheCounters(t *testing.T) {
+	warm := CompileBatch(batchInputs(), parallel.Full, Reorganized, Options{Jobs: 1})
+	if err := warm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cold := CompileBatch(batchInputs(), parallel.Full, Reorganized, Options{Jobs: 1, NoPropertyCache: true})
+	if err := cold.Err(); err != nil {
+		t.Fatal(err)
+	}
+	ws, cs := warm.Stats(), cold.Stats()
+	if ws.CacheHits == 0 {
+		t.Error("expected cache hits on the kernel batch")
+	}
+	if cs.CacheHits != 0 || cs.CacheMisses != 0 {
+		t.Errorf("NoPropertyCache still counted hits=%d misses=%d", cs.CacheHits, cs.CacheMisses)
+	}
+	if ws.Queries+ws.CacheHits != cs.Queries {
+		t.Errorf("cache must only elide repeat queries: warm %d queries + %d hits != cold %d queries",
+			ws.Queries, ws.CacheHits, cs.Queries)
+	}
+	// Verdicts are unaffected by the cache.
+	for i := range warm.Items {
+		w, c := warm.Items[i].Result, cold.Items[i].Result
+		if len(w.Reports) != len(c.Reports) {
+			t.Fatalf("%s: report count differs with cache off", warm.Items[i].Name)
+		}
+		for j := range w.Reports {
+			if w.Reports[j].Parallel != c.Reports[j].Parallel {
+				t.Errorf("%s: loop %s verdict differs with cache off",
+					warm.Items[i].Name, w.Reports[j].Name)
+			}
+		}
+	}
+}
+
+func TestBatchErrorIsolation(t *testing.T) {
+	ins := []BatchInput{
+		{Name: "good", Src: "program p\n  integer i, s\n  s = 0\n  do i = 1, 10\n    s = s + i\n  end do\nend\n"},
+		{Name: "bad", Src: "program q\n  this is not a program\nend\n"},
+	}
+	br := CompileBatch(ins, parallel.Full, Reorganized, Options{Jobs: 4})
+	if br.Items[0].Err != nil {
+		t.Errorf("good input failed: %v", br.Items[0].Err)
+	}
+	if br.Items[1].Err == nil {
+		t.Error("bad input did not fail")
+	}
+	if br.Err() == nil {
+		t.Error("BatchResult.Err() should surface the failure")
+	}
+}

@@ -19,10 +19,12 @@ type Metrics struct {
 	CompileNs  int64         `json:"compile_ns"`
 	PropertyNs int64         `json:"property_ns"`
 	Phases     []PhaseMetric `json:"phases"`
-	// Counters holds the five property.Stats counters
-	// (property.queries, property.nodes_visited, property.loop_summaries,
-	// property.gather_hits, property.pattern_hits) plus any recorder
-	// counters (e.g. machine.loop.* simulated cycles after a run).
+	// Counters holds the property.Stats counters (property.queries,
+	// property.nodes_visited, property.loop_summaries,
+	// property.gather_hits, property.pattern_hits, and the query-cache
+	// triple property.cache_hits / cache_misses / cache_invalidations)
+	// plus any recorder counters (e.g. machine.loop.* simulated cycles
+	// after a run).
 	Counters     map[string]int64 `json:"counters"`
 	Loops        []LoopMetric     `json:"loops"`
 	Interchanged int              `json:"interchanged,omitempty"`
@@ -68,6 +70,9 @@ func (r *Result) Metrics() *Metrics {
 	m.Counters["property.loop_summaries"] = int64(st.LoopSummaries)
 	m.Counters["property.gather_hits"] = int64(st.GatherHits)
 	m.Counters["property.pattern_hits"] = int64(st.PatternHits)
+	m.Counters["property.cache_hits"] = int64(st.CacheHits)
+	m.Counters["property.cache_misses"] = int64(st.CacheMisses)
+	m.Counters["property.cache_invalidations"] = int64(st.CacheInvalidations)
 	for k, v := range r.Recorder.Counters() {
 		m.Counters[k] = v
 	}

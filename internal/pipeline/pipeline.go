@@ -107,6 +107,16 @@ type Options struct {
 	// step, and the dependence-test verdicts. Nil runs with telemetry off
 	// at no measurable cost.
 	Recorder *obs.Recorder
+	// Jobs bounds the worker pool used for the per-unit build phases (the
+	// HCG construction here; the per-input fan-out in CompileBatch). 0 or
+	// negative means GOMAXPROCS. The phase ordering of Fig. 15(b) is
+	// preserved: every unit is fully built before the interprocedural
+	// analyses start, and results are merged in program order, so the
+	// output is identical for every Jobs value.
+	Jobs int
+	// NoPropertyCache disables the property-query memo table (for
+	// measuring its effect; the verdicts are identical either way).
+	NoPropertyCache bool
 }
 
 // Compile runs the full pipeline on source text.
@@ -189,14 +199,19 @@ func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options)
 	}
 
 	// Optional loop interchange (legality via the same dependence tests;
-	// Full mode supplies property-based evidence too).
+	// Full mode supplies property-based evidence too). Its property
+	// analysis is separate from the parallelizer's — interchange mutates
+	// the program, so its memo entries must not outlive the phase — but
+	// its counters are folded into the Result below.
 	interchanged := 0
+	var icStats property.Stats
 	if opts.Interchange {
 		end = phase("interchange")
 		var prop *property.Analysis
 		if mode == parallel.Full {
-			prop = property.New(info, cfg.BuildHCG(prog), mod)
+			prop = property.New(info, cfg.BuildHCGJobs(prog, opts.Jobs), mod)
 			prop.Rec = rec
+			prop.NoCache = opts.NoPropertyCache
 		}
 		dep := deptest.New(info, mod, prop)
 		dep.Rec = rec
@@ -207,19 +222,36 @@ func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options)
 				return nil, err
 			}
 		}
+		if prop != nil {
+			icStats = prop.Stats
+		}
 		end()
 	}
 
-	// Reduction recognition, then parallelization (privatization + data
-	// dependence tests, both driven by the parallelizer).
+	// Reduction recognition, then the HCG build for every unit — the last
+	// per-unit phase, and the Fig. 15(b) barrier: past this point the
+	// analyses are interprocedural. The per-unit graphs build on the
+	// worker pool; merging is deterministic (program order).
 	end = phase("reduction")
 	passes.RecognizeReductions(prog, info, mod)
 	end()
+	end = phase("hcg")
+	var hp *cfg.HProgram
+	if mode == parallel.Full {
+		hp = cfg.BuildHCGJobs(prog, opts.Jobs)
+	}
+	end()
+
+	// Parallelization (privatization + data dependence tests, both driven
+	// by the parallelizer).
 	end = phase("parallelize")
-	pz := parallel.New(info, mod, mode)
+	pz := parallel.NewWithHCG(info, mod, mode, hp)
 	pz.SetRecorder(rec)
-	if org == Original && pz.Property() != nil {
-		pz.Property().Intraprocedural = true
+	if pz.Property() != nil {
+		pz.Property().NoCache = opts.NoPropertyCache
+		if org == Original {
+			pz.Property().Intraprocedural = true
+		}
 	}
 	reports := pz.Run()
 	end()
@@ -232,6 +264,7 @@ func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options)
 	res.parallelizer = pz
 	res.Interchanged = interchanged
 	res.PropertyStats = *pz.PropertyStats()
+	res.PropertyStats.Add(icStats)
 	res.PropertyTime = res.PropertyStats.Elapsed
 	if rec.Enabled() {
 		st := res.PropertyStats
@@ -240,6 +273,9 @@ func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options)
 		rec.Count("property.loop_summaries", int64(st.LoopSummaries))
 		rec.Count("property.gather_hits", int64(st.GatherHits))
 		rec.Count("property.pattern_hits", int64(st.PatternHits))
+		rec.Count("property.cache_hits", int64(st.CacheHits))
+		rec.Count("property.cache_misses", int64(st.CacheMisses))
+		rec.Count("property.cache_invalidations", int64(st.CacheInvalidations))
 	}
 	return res, nil
 }

@@ -313,7 +313,6 @@ func (w *walker) indirectRange(e *expr.Expr, env expr.Env, at lang.Stmt) (expr.R
 	var props []string
 	lo, hi := e, e
 	for _, ia := range arrays {
-		prop := property.NewBounds(ia)
 		// Query section: the subscripts used with ia, bounded over env.
 		var qlo, qhi *expr.Expr
 		for _, arg := range e.ArrayAtoms(ia) {
@@ -327,7 +326,12 @@ func (w *walker) indirectRange(e *expr.Expr, env expr.Env, at lang.Stmt) (expr.R
 		if qlo == nil || qhi == nil {
 			return expr.Range{}, nil, false
 		}
-		if !w.a.Prop.Verify(prop, at, section.New(ia, qlo, qhi)) || prop.Lo == nil || prop.Hi == nil {
+		iaName := ia
+		p, ok := w.a.Prop.VerifyCached(
+			func() property.Property { return property.NewBounds(iaName) },
+			at, section.New(ia, qlo, qhi))
+		prop, isB := p.(*property.Bounds)
+		if !ok || !isB || prop.Lo == nil || prop.Hi == nil {
 			return expr.Range{}, nil, false
 		}
 		props = append(props, prop.String())

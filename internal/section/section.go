@@ -81,6 +81,27 @@ func (s *Section) String() string {
 	return fmt.Sprintf("%s[%s]", s.Array, strings.Join(parts, ", "))
 }
 
+// Key returns an unambiguous identity string for memoization. Unlike
+// String — which collapses a lo==hi dimension to a single value, so
+// p[i] and p[i:i] render identically while p[i:j] does not — Key always
+// writes both bounds with a separator no expression rendering contains,
+// so two sections share a Key exactly when they are structurally equal.
+func (s *Section) Key() string {
+	var sb strings.Builder
+	sb.WriteString(s.Array)
+	for _, d := range s.Dims {
+		sb.WriteByte('|')
+		if d.Lo != nil {
+			sb.WriteString(d.Lo.String())
+		}
+		sb.WriteByte(';')
+		if d.Hi != nil {
+			sb.WriteString(d.Hi.String())
+		}
+	}
+	return sb.String()
+}
+
 // ProvablyEmpty reports whether some dimension's range is provably empty
 // (lo > hi) under the assumptions.
 func (s *Section) ProvablyEmpty(a expr.Assumptions) bool {

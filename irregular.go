@@ -72,6 +72,13 @@ type Options struct {
 	// dependence-test verdicts and per-loop simulated time, driving
 	// Result.Explain, Result.SummaryJSON and the raw trace dump.
 	Telemetry bool
+	// Jobs bounds the worker pool of the per-unit build phases and of
+	// CompileBatch's per-input fan-out (0 or negative: GOMAXPROCS). The
+	// output is identical for every value.
+	Jobs int
+	// NoPropertyCache disables the property-query memo table (verdicts
+	// are identical either way; used to measure the cache).
+	NoPropertyCache bool
 }
 
 // Result is a finished compilation.
@@ -102,13 +109,42 @@ func Compile(src string, opts Options) (*Result, error) {
 		rec = obs.New()
 	}
 	res, err := pipeline.CompileOpts(src, opts.Mode, org, pipeline.Options{
-		Interchange: opts.Interchange,
-		Recorder:    rec,
+		Interchange:     opts.Interchange,
+		Recorder:        rec,
+		Jobs:            opts.Jobs,
+		NoPropertyCache: opts.NoPropertyCache,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Result: res}, nil
+}
+
+// BatchInput is one source file of a batch compilation.
+type BatchInput = pipeline.BatchInput
+
+// BatchResult holds the per-input outcomes of CompileBatch in input order.
+type BatchResult = pipeline.BatchResult
+
+// CompileBatch compiles several programs, fanning the inputs over a
+// worker pool of opts.Jobs goroutines. Every input is an independent
+// compilation; per-input results, summaries and aggregated counters are
+// deterministic — identical for any job count.
+func CompileBatch(inputs []BatchInput, opts Options) *BatchResult {
+	org := pipeline.Reorganized
+	if opts.Intraprocedural {
+		org = pipeline.Original
+	}
+	var rec *obs.Recorder
+	if opts.Telemetry {
+		rec = obs.New()
+	}
+	return pipeline.CompileBatch(inputs, opts.Mode, org, pipeline.Options{
+		Interchange:     opts.Interchange,
+		Recorder:        rec,
+		Jobs:            opts.Jobs,
+		NoPropertyCache: opts.NoPropertyCache,
+	})
 }
 
 // MachineProfile selects a simulated machine.
