@@ -7,12 +7,17 @@
 //	irrbench [-size small|default|large] [-procs 1,2,4,8,16,32] [-table2] [-table3] [-fig16]
 //	irrbench -metrics out.json [-jobs N]
 //	irrbench -parallel-report out.json [-jobs N]
+//	irrbench -expr-report out.json [-jobs N]
 //
 // With no selection flags, everything is printed. -metrics additionally
 // writes one machine-readable metrics document per kernel ("-": stdout);
 // the kernels compile as a batch over -jobs workers. -parallel-report
 // measures the batch serial vs parallel and with the property-query cache
 // cold vs warm, and writes the irr-parallel/1 JSON document ("-": stdout).
+// -expr-report measures the expression-interner microbenchmarks and the
+// intern-on/intern-off batch, and writes the irr-expr/1 JSON document.
+// -cpuprofile / -memprofile write pprof profiles of whatever the invocation
+// ran.
 package main
 
 import (
@@ -20,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -36,7 +43,34 @@ func main() {
 	metrics := flag.String("metrics", "", "write per-kernel metrics JSON to this path (\"-\" for stdout)")
 	jobs := flag.Int("jobs", 0, "worker pool size for batch compilation (0: GOMAXPROCS)")
 	parReport := flag.String("parallel-report", "", "measure serial-vs-parallel and cold-vs-warm cache; write JSON to this path (\"-\" for stdout)")
+	exprReport := flag.String("expr-report", "", "measure expression interning (micro + end-to-end); write JSON to this path (\"-\" for stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this path at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	var sz kernels.Size
 	switch *size {
@@ -87,11 +121,23 @@ func main() {
 		}
 		writeOut(*parReport, append(data, '\n'))
 	}
-	if (*metrics != "" || *parReport != "") && !*t2 && !*t3 && !*f16 {
+	if *exprReport != "" {
+		rep, err := bench.MeasureExpr(sz, *jobs, 0)
+		if err != nil {
+			fail(err)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		writeOut(*exprReport, append(data, '\n'))
+	}
+	anyReport := *metrics != "" || *parReport != "" || *exprReport != ""
+	if anyReport && !*t2 && !*t3 && !*f16 {
 		return
 	}
 
-	all := !*t2 && !*t3 && !*f16 && *metrics == "" && *parReport == ""
+	all := !*t2 && !*t3 && !*f16 && !anyReport
 
 	if all || *t2 {
 		rows, err := bench.Table2(sz)

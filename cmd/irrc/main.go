@@ -26,6 +26,9 @@
 //	-machine origin2000|challenge
 //	-explain                    print the per-loop decision log (telemetry)
 //	-metrics out.json           write the metrics JSON document ("-": stdout)
+//	-no-expr-intern             disable expression hash-consing (ablation)
+//	-cpuprofile out.pprof       write a CPU profile of the compilation
+//	-memprofile out.pprof       write an allocation profile at exit
 package main
 
 import (
@@ -34,6 +37,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -54,7 +59,34 @@ func main() {
 	interchange := flag.Bool("interchange", false, "enable the loop-interchange companion pass")
 	explain := flag.Bool("explain", false, "print the per-loop decision log (query traces for failed properties)")
 	metrics := flag.String("metrics", "", "write the metrics JSON document to this path (\"-\" for stdout)")
+	noIntern := flag.Bool("no-expr-intern", false, "disable expression hash-consing (output is identical; for measurement)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this path at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	var inputs []irregular.BatchInput
 	switch {
@@ -93,6 +125,7 @@ func main() {
 		Interchange:     *interchange,
 		Telemetry:       *explain || *metrics != "",
 		Jobs:            *jobs,
+		NoExprIntern:    *noIntern,
 	}
 
 	if len(inputs) > 1 {

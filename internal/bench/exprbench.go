@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/pipeline"
+)
+
+// ExprReportSchema identifies the JSON layout of the expression-interning
+// measurement document (BENCH_expr.json).
+const ExprReportSchema = "irr-expr/1"
+
+// MicroBench is one -benchmem style microbenchmark result.
+type MicroBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// ExprReport records the effect of expression hash-consing: paired
+// microbenchmarks (legacy vs interned implementations of the expr/section
+// hot operations) and the end-to-end batch compile with the interner on vs
+// off — the payload of `irrbench -expr-report`.
+type ExprReport struct {
+	Schema     string `json:"schema"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Micro holds the paired microbenchmarks. Names ending in the same
+	// suffix form a pair (e.g. equal/legacy vs equal/interned).
+	Micro []MicroBench `json:"micro"`
+	// AllocReduction is 1 - interned/legacy allocations per op, over the
+	// paired equal/string/section-key microbenchmarks (the acceptance
+	// metric: >= 0.30 required).
+	AllocReduction float64 `json:"alloc_reduction"`
+	// InternOnNs / InternOffNs are best-of-N wall-clock times for the
+	// kernel batch compiled with interning enabled and disabled.
+	InternOnNs  int64   `json:"intern_on_ns"`
+	InternOffNs int64   `json:"intern_off_ns"`
+	SpeedupX    float64 `json:"speedup_x"`
+	// Interner counters of the intern-on run.
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	NodeHits   int64   `json:"node_hits"`
+	NodeMisses int64   `json:"node_misses"`
+	HitRate    float64 `json:"hit_rate"`
+	// IdenticalOutput reports whether the intern-on and intern-off batches
+	// produced identical summaries (durations masked), decision logs and
+	// counters (excluding the expr.intern.* counters, which measure the
+	// interner itself).
+	IdenticalOutput bool `json:"identical_output"`
+}
+
+// exprMicroPairs lists the paired microbenchmarks: the legacy implementation
+// of an operation and its interned replacement.
+func exprMicroPairs() []struct {
+	name string
+	fn   func(*testing.B)
+} {
+	return []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"equal/legacy", microEqualLegacy},
+		{"equal/interned", microEqualInterned},
+		{"string/legacy", microStringLegacy},
+		{"string/interned", microStringInterned},
+		{"section-key/legacy", microSectionKeyLegacy},
+		{"section-key/interned", microSectionKeyInterned},
+	}
+}
+
+// MeasureExpr runs the expr/section microbenchmarks and the end-to-end
+// intern-on/intern-off batch comparison. iters < 1 means best-of-5.
+func MeasureExpr(size kernels.Size, jobs, iters int) (*ExprReport, error) {
+	if jobs < 1 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if iters < 1 {
+		iters = 5
+	}
+	rep := &ExprReport{
+		Schema:     ExprReportSchema,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	// Microbenchmarks via the testing package's own measurement loop.
+	var legacyAllocs, internedAllocs int64
+	for _, mb := range exprMicroPairs() {
+		r := testing.Benchmark(mb.fn)
+		rep.Micro = append(rep.Micro, MicroBench{
+			Name:        mb.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(max(1, int64(r.N))),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		if strings.HasSuffix(mb.name, "/legacy") {
+			legacyAllocs += r.AllocsPerOp()
+		} else {
+			internedAllocs += r.AllocsPerOp()
+		}
+	}
+	if legacyAllocs > 0 {
+		rep.AllocReduction = 1 - float64(internedAllocs)/float64(legacyAllocs)
+	}
+
+	// End-to-end: the kernel batch with the interner on vs off.
+	inputs := kernelInputs(size)
+	compile := func(opts pipeline.Options) (*pipeline.BatchResult, error) {
+		br := pipeline.CompileBatch(inputs, parallel.Full, pipeline.Reorganized, opts)
+		return br, br.Err()
+	}
+	bestOf := func(opts pipeline.Options) (time.Duration, *pipeline.BatchResult, error) {
+		var best time.Duration
+		var last *pipeline.BatchResult
+		for i := 0; i < iters; i++ {
+			t0 := time.Now()
+			br, err := compile(opts)
+			d := time.Since(t0)
+			if err != nil {
+				return 0, nil, err
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+			last = br
+		}
+		return best, last, nil
+	}
+
+	onT, onBR, err := bestOf(pipeline.Options{Jobs: jobs})
+	if err != nil {
+		return nil, err
+	}
+	offT, _, err := bestOf(pipeline.Options{Jobs: jobs, NoExprIntern: true})
+	if err != nil {
+		return nil, err
+	}
+	rep.InternOnNs = int64(onT)
+	rep.InternOffNs = int64(offT)
+	rep.SpeedupX = ratio(offT, onT)
+	ist := onBR.InternStats()
+	rep.Hits, rep.Misses = ist.Hits, ist.Misses
+	rep.NodeHits, rep.NodeMisses = ist.NodeHits, ist.NodeMisses
+	if lookups := ist.Hits + ist.Misses; lookups > 0 {
+		rep.HitRate = float64(ist.Hits) / float64(lookups)
+	}
+
+	// Ablation: one telemetry-on run per configuration, outputs compared.
+	on, err := compile(pipeline.Options{Jobs: jobs, Recorder: obs.New()})
+	if err != nil {
+		return nil, err
+	}
+	off, err := compile(pipeline.Options{Jobs: jobs, Recorder: obs.New(), NoExprIntern: true})
+	if err != nil {
+		return nil, err
+	}
+	rep.IdenticalOutput = InternAblationIdentical(on, off)
+	return rep, nil
+}
+
+// InternAblationIdentical compares an intern-on and an intern-off batch:
+// identical summaries (durations masked), identical decision logs, and
+// identical counters once the expr.intern.* counters — which measure the
+// interner itself — are removed.
+func InternAblationIdentical(on, off *pipeline.BatchResult) bool {
+	return benchDurations.ReplaceAllString(on.Summary(), "T") ==
+		benchDurations.ReplaceAllString(off.Summary(), "T") &&
+		on.Explain() == off.Explain() &&
+		reflect.DeepEqual(dropInternCounters(on.Counters()), dropInternCounters(off.Counters()))
+}
+
+func dropInternCounters(c map[string]int64) map[string]int64 {
+	out := map[string]int64{}
+	for k, v := range c {
+		if !strings.HasPrefix(k, "expr.intern.") {
+			out[k] = v
+		}
+	}
+	return out
+}

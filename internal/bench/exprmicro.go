@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/section"
+)
+
+// The micro workload mirrors the analysis hot path: a medium-sized affine
+// expression with a symbolic atom, compared/rendered/keyed over and over.
+
+func microExprPair() (*expr.Expr, *expr.Expr) {
+	mk := func() *expr.Expr {
+		return expr.Var("i").MulConst(2).
+			Add(expr.Var("j").MulConst(3)).
+			Add(expr.Var("n").Mul(expr.Var("i"))).
+			AddConst(-4)
+	}
+	return mk(), mk()
+}
+
+// microEqualLegacy is the pre-interning Equal: e.Sub(o).IsZero(), a full
+// clone-and-merge per comparison.
+func microEqualLegacy(b *testing.B) {
+	x, y := microExprPair()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !x.Sub(y).IsZero() {
+			b.Fatal("not equal")
+		}
+	}
+}
+
+// microEqualInterned is Equal on interned expressions: a cached-key
+// comparison.
+func microEqualInterned(b *testing.B) {
+	in := expr.NewInterner()
+	x, y := microExprPair()
+	x, y = in.Intern(x), in.Intern(y)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !x.Equal(y) {
+			b.Fatal("not equal")
+		}
+	}
+}
+
+// microStringLegacy renders the canonical string of an uninterned
+// expression every call (sort keys, rebuild).
+func microStringLegacy(b *testing.B) {
+	x, _ := microExprPair()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.String()
+	}
+}
+
+// microStringInterned reads the canonical key cached at intern time.
+func microStringInterned(b *testing.B) {
+	in := expr.NewInterner()
+	x, _ := microExprPair()
+	x = in.Intern(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.String()
+	}
+}
+
+// microSectionKeyLegacy keys a fresh section whose bounds carry no cached
+// keys: every Key call re-renders both bound expressions.
+func microSectionKeyLegacy(b *testing.B) {
+	lo, hi := microExprPair()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := section.New("a", lo, hi)
+		_ = s.Key()
+	}
+}
+
+// microSectionKeyInterned keys a fresh section whose bounds are interned:
+// Key assembles the cached canonical keys.
+func microSectionKeyInterned(b *testing.B) {
+	in := expr.NewInterner()
+	lo, hi := microExprPair()
+	lo, hi = in.Intern(lo), in.Intern(hi)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := section.New("a", lo, hi)
+		_ = s.Key()
+	}
+}

@@ -58,14 +58,21 @@ func (r *Result) Summary() string {
 // Analyzer proves references in bounds. Prop may be nil (no index-array
 // bounds available; only affine subscripts are then provable).
 type Analyzer struct {
-	Info   *sem.Info
-	Prop   *property.Analysis
+	Info *sem.Info
+	Prop *property.Analysis
+	// In is the compilation's expression interner, shared with the property
+	// analysis (nil disables interning; all uses are nil-safe).
+	In     *expr.Interner
 	Assume expr.Assumptions
 }
 
 // New builds an Analyzer; prop may be nil.
 func New(info *sem.Info, prop *property.Analysis) *Analyzer {
-	return &Analyzer{Info: info, Prop: prop, Assume: expr.Assumptions{}}
+	a := &Analyzer{Info: info, Prop: prop, Assume: expr.Assumptions{}}
+	if prop != nil {
+		a.In = prop.Interner()
+	}
+	return a
 }
 
 // Analyze inspects every array reference of every unit.
@@ -108,11 +115,11 @@ func (a *Analyzer) unit(u *lang.Unit, res *Result) {
 				walk(s.Else, env)
 			case *lang.DoStmt:
 				inner := env
-				lo := expr.FromAST(s.Lo)
-				hi := expr.FromAST(s.Hi)
+				lo := a.In.FromAST(s.Lo)
+				hi := a.In.FromAST(s.Hi)
 				rng := expr.NewRange(lo, hi)
 				if s.Step != nil {
-					if c, ok := expr.FromAST(s.Step).IsConst(); ok && c < 0 {
+					if c, ok := a.In.FromAST(s.Step).IsConst(); ok && c < 0 {
 						rng = expr.NewRange(hi, lo)
 					} else if !ok {
 						rng = expr.Range{}
@@ -183,7 +190,7 @@ func (a *Analyzer) refSafe(u *lang.Unit, at lang.Stmt, ref *lang.ArrayRef, env e
 	for d, arg := range ref.Args {
 		dim := sym.Dims[d]
 		lo, hi := expr.Const(dim.Lo), expr.Const(dim.Hi)
-		e := a.resolveParams(u, expr.FromAST(arg))
+		e := a.resolveParams(u, a.In.FromAST(arg))
 
 		rng, ok := expr.Bounds(e, env, a.Assume)
 		if !ok {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/expr"
 	"repro/internal/lang"
 )
 
@@ -98,6 +99,11 @@ type HProgram struct {
 	// StmtNode maps every statement to its HCG node (the HDo/HWhile node
 	// for loops, the HIf node for conditionals).
 	StmtNode map[lang.Stmt]*HNode
+	// In hash-conses the canonical expressions the analyses derive from this
+	// program. It is confined to the (single-goroutine) analyses that run
+	// over the HCG after construction; set In to nil to disable interning
+	// (the NoExprIntern ablation).
+	In *expr.Interner
 }
 
 // CallSites returns every HCall node (in any unit) that calls the given
@@ -175,6 +181,7 @@ func BuildHCGJobs(prog *lang.Program, jobs int) *HProgram {
 		Program:  prog,
 		Units:    map[*lang.Unit]*HGraph{},
 		StmtNode: map[lang.Stmt]*HNode{},
+		In:       expr.NewInterner(),
 	}
 	units := prog.Units()
 	if jobs < 1 {

@@ -101,6 +101,15 @@ func New(info *sem.Info, hp *cfg.HProgram, mod *dataflow.ModInfo) *Analysis {
 	}
 }
 
+// Interner returns the HCG's expression interner (nil when the HCG has none
+// or interning is disabled — both degrade to plain conversion).
+func (a *Analysis) Interner() *expr.Interner {
+	if a.HP == nil {
+		return nil
+	}
+	return a.HP.In
+}
+
 // flatGraph returns (building lazily) the flat CFG of a unit, used by the
 // single-indexed sub-analyses.
 func (a *Analysis) flatGraph(u *lang.Unit) *cfg.Graph {

@@ -24,6 +24,10 @@ type Ctx struct {
 
 func (s *session) ctxFor(n *cfg.HNode) *Ctx { return &Ctx{s: s, node: n} }
 
+// in returns the compilation's expression interner (nil-safe: a nil interner
+// degrades every lookup to plain conversion).
+func (c *Ctx) in() *expr.Interner { return c.s.a.Interner() }
+
 // Assume returns the analysis-wide sign assumptions.
 func (c *Ctx) Assume() expr.Assumptions { return c.s.a.Assume }
 
@@ -34,7 +38,7 @@ func (c *Ctx) Env() expr.Env {
 	env := expr.Env{}
 	for g := c.node.Graph; g != nil && g.Parent != nil; g = g.Parent.Graph {
 		if d, ok := g.Parent.Stmt.(*lang.DoStmt); ok {
-			lo, hi, _, ok2 := envRange(d)
+			lo, hi, _, ok2 := envRange(c.in(), d)
 			if ok2 && lo != nil && hi != nil {
 				env[d.Var.Name] = expr.NewRange(lo, hi)
 			} else {
@@ -103,14 +107,14 @@ type lhsInfo struct {
 	nsubs  int
 }
 
-func lhsOf(st *lang.AssignStmt) lhsInfo {
+func lhsOf(in *expr.Interner, st *lang.AssignStmt) lhsInfo {
 	switch l := st.Lhs.(type) {
 	case *lang.Ident:
 		return lhsInfo{scalar: l.Name}
 	case *lang.ArrayRef:
 		li := lhsInfo{array: l.Name, nsubs: len(l.Args)}
 		if len(l.Args) >= 1 {
-			li.sub = expr.FromAST(l.Args[0])
+			li.sub = in.FromAST(l.Args[0])
 		}
 		return li
 	}
@@ -166,14 +170,14 @@ func (p *Bounds) merge(lo, hi *expr.Expr, c *Ctx) bool {
 }
 
 func (p *Bounds) SummarizeAssign(c *Ctx, st *lang.AssignStmt) (*section.Set, *section.Set) {
-	l := lhsOf(st)
+	l := lhsOf(c.in(), st)
 	if l.array != p.array {
 		return emptySets()
 	}
 	if l.nsubs != 1 || p.broken {
 		return p.killAll(), section.NewSet()
 	}
-	val := expr.FromAST(st.Rhs)
+	val := c.in().FromAST(st.Rhs)
 	r, ok := expr.Bounds(val, c.Env(), c.Assume())
 	if !ok || r.Lo == nil || r.Hi == nil {
 		r, ok = modulusBounds(st.Rhs, c)
@@ -273,7 +277,7 @@ func (p *Injective) Mentions() ([]string, []string) { return nil, nil }
 func (p *Injective) String() string                 { return fmt.Sprintf("injective(%s)", p.array) }
 
 func (p *Injective) SummarizeAssign(c *Ctx, st *lang.AssignStmt) (*section.Set, *section.Set) {
-	l := lhsOf(st)
+	l := lhsOf(c.in(), st)
 	if l.array != p.array {
 		return emptySets()
 	}
@@ -322,7 +326,7 @@ func (p *Monotonic) Mentions() ([]string, []string) { return nil, nil }
 func (p *Monotonic) String() string                 { return fmt.Sprintf("monotonic(%s)", p.array) }
 
 func (p *Monotonic) SummarizeAssign(c *Ctx, st *lang.AssignStmt) (*section.Set, *section.Set) {
-	l := lhsOf(st)
+	l := lhsOf(c.in(), st)
 	if l.array != p.array {
 		return emptySets()
 	}
@@ -373,14 +377,14 @@ func matchAffineFill(c *Ctx, n *cfg.HNode, array string) *affineFill {
 	if !ok || ref.Name != array || len(ref.Args) != 1 {
 		return nil
 	}
-	if v, isVar := expr.FromAST(ref.Args[0]).IsVar(); !isVar || v != d.Var.Name {
+	if v, isVar := c.in().FromAST(ref.Args[0]).IsVar(); !isVar || v != d.Var.Name {
 		return nil
 	}
-	lo, hi, dense, okRange := envRange(d)
+	lo, hi, dense, okRange := envRange(c.in(), d)
 	if !okRange || !dense || lo == nil || hi == nil {
 		return nil
 	}
-	val := expr.FromAST(as.Rhs)
+	val := c.in().FromAST(as.Rhs)
 	coef, rest, okAff := val.Affine(d.Var.Name)
 	if !okAff {
 		return nil
@@ -433,14 +437,14 @@ func (p *ClosedFormValue) ValueAt(sub *expr.Expr) *expr.Expr {
 }
 
 func (p *ClosedFormValue) SummarizeAssign(c *Ctx, st *lang.AssignStmt) (*section.Set, *section.Set) {
-	l := lhsOf(st)
+	l := lhsOf(c.in(), st)
 	if l.array != p.array {
 		return emptySets()
 	}
 	if l.nsubs != 1 {
 		return p.killAll(), section.NewSet()
 	}
-	val := expr.FromAST(st.Rhs)
+	val := c.in().FromAST(st.Rhs)
 	target := p.Value
 	if target == nil {
 		target = p.Expected
@@ -540,7 +544,7 @@ func (p *ClosedFormDistance) DistAt(sub *expr.Expr) *expr.Expr {
 }
 
 func (p *ClosedFormDistance) SummarizeAssign(c *Ctx, st *lang.AssignStmt) (*section.Set, *section.Set) {
-	l := lhsOf(st)
+	l := lhsOf(c.in(), st)
 	if l.array != p.array {
 		return emptySets()
 	}
@@ -563,11 +567,11 @@ func (p *ClosedFormDistance) SummarizeLoop(c *Ctx, n *cfg.HNode) (*section.Set, 
 	if !ok {
 		return nil, nil, false
 	}
-	lo, hi, dense, okRange := envRange(d)
+	lo, hi, dense, okRange := envRange(c.in(), d)
 	if !okRange || !dense || lo == nil || hi == nil {
 		return nil, nil, false
 	}
-	m := matchRecurrence(d, p.array)
+	m := matchRecurrence(c.in(), d, p.array)
 	if m == nil {
 		return nil, nil, false
 	}

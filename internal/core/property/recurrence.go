@@ -60,7 +60,7 @@ func genLoLEQ(x, y *expr.Expr) bool {
 //
 // The loop body may contain other statements only if they do not write the
 // array, the accumulator, or anything the distance expression mentions.
-func matchRecurrence(d *lang.DoStmt, array string) *recurrenceMatch {
+func matchRecurrence(in *expr.Interner, d *lang.DoStmt, array string) *recurrenceMatch {
 	v := d.Var.Name
 
 	// Collect top-level assignments of the body; nested control flow
@@ -97,10 +97,10 @@ func matchRecurrence(d *lang.DoStmt, array string) *recurrenceMatch {
 	if len(ar.Args) != 1 {
 		return nil
 	}
-	sub := expr.FromAST(ar.Args[0])
+	sub := in.FromAST(ar.Args[0])
 
 	// Pattern (b): x(sub) = x(sub-1) + d.
-	if m := matchDirectRecurrence(w, sub, array, v); m != nil {
+	if m := matchDirectRecurrence(in, w, sub, array, v); m != nil {
 		if len(assigns) == 1 {
 			return m
 		}
@@ -132,7 +132,7 @@ func matchRecurrence(d *lang.DoStmt, array string) *recurrenceMatch {
 	if acc == nil {
 		return nil
 	}
-	dist := expr.FromAST(acc.Rhs).Sub(expr.Var(tName))
+	dist := in.FromAST(acc.Rhs).Sub(expr.Var(tName))
 	if dist.MentionsVar(tName) {
 		return nil
 	}
@@ -161,8 +161,8 @@ func matchRecurrence(d *lang.DoStmt, array string) *recurrenceMatch {
 
 // matchDirectRecurrence matches x(sub) = x(sub-1) + d with sub affine in
 // the loop variable with coefficient 1.
-func matchDirectRecurrence(w *lang.AssignStmt, sub *expr.Expr, array, v string) *recurrenceMatch {
-	rhs := expr.FromAST(w.Rhs)
+func matchDirectRecurrence(in *expr.Interner, w *lang.AssignStmt, sub *expr.Expr, array, v string) *recurrenceMatch {
+	rhs := in.FromAST(w.Rhs)
 	// Look for the atom x(sub-1) in the rhs.
 	prevSub := sub.AddConst(-1)
 	prevKey := refKeyFor(array, prevSub)

@@ -49,9 +49,12 @@ type Verdict struct {
 // disables every property-based test (the "without irregular access
 // analysis" configuration of the evaluation).
 type Analyzer struct {
-	Info   *sem.Info
-	Mod    *dataflow.ModInfo
-	Prop   *property.Analysis
+	Info *sem.Info
+	Mod  *dataflow.ModInfo
+	Prop *property.Analysis
+	// In is the compilation's expression interner, shared with the property
+	// analysis (nil disables interning; all uses are nil-safe).
+	In     *expr.Interner
 	Assume expr.Assumptions
 	// Rec, when non-nil, receives one "dep.verdict" event per array and
 	// loop, recording which dependence test fired (or why none did).
@@ -60,10 +63,14 @@ type Analyzer struct {
 
 // New builds an Analyzer. prop may be nil.
 func New(info *sem.Info, mod *dataflow.ModInfo, prop *property.Analysis) *Analyzer {
-	return &Analyzer{
+	a := &Analyzer{
 		Info: info, Mod: mod, Prop: prop,
 		Assume: expr.Assumptions{},
 	}
+	if prop != nil {
+		a.In = prop.Interner()
+	}
+	return a
 }
 
 // verifyCached runs (or replays) a property verification through the
@@ -86,6 +93,9 @@ func (a *Analyzer) Invalidate() {
 	if a.Prop != nil {
 		a.Prop.InvalidateCache()
 	}
+	// The AST changed, so the interner's per-node memo is stale too (the
+	// canonical-key table stays: keys identify values, not syntax).
+	a.In.InvalidateAST()
 }
 
 // ref is one array reference with its inner-loop environment.
@@ -108,7 +118,7 @@ func (a *Analyzer) collectRefs(u *lang.Unit, loop *lang.DoStmt) (map[string][]re
 	record := func(r dataflow.Ref, env expr.Env) {
 		subs := make([]*expr.Expr, len(r.Args))
 		for i, s := range r.Args {
-			subs[i] = expr.FromAST(s)
+			subs[i] = a.In.FromAST(s)
 		}
 		refs[r.Array] = append(refs[r.Array], ref{subs: subs, env: env, store: r.Store, stmt: r.Stmt})
 	}
@@ -136,11 +146,11 @@ func (a *Analyzer) collectRefs(u *lang.Unit, loop *lang.DoStmt) (map[string][]re
 				}
 				walk(s.Else, env)
 			case *lang.DoStmt:
-				lo := expr.FromAST(s.Lo)
-				hi := expr.FromAST(s.Hi)
+				lo := a.In.FromAST(s.Lo)
+				hi := a.In.FromAST(s.Hi)
 				inner := env.With(s.Var.Name, expr.NewRange(lo, hi))
 				if s.Step != nil {
-					if c, ok := expr.FromAST(s.Step).IsConst(); !ok || c == 0 {
+					if c, ok := a.In.FromAST(s.Step).IsConst(); !ok || c == 0 {
 						inner = env.With(s.Var.Name, expr.Range{})
 					} else if c < 0 {
 						inner = env.With(s.Var.Name, expr.NewRange(hi, lo))
@@ -222,7 +232,7 @@ func (a *Analyzer) DiagnoseArray(u *lang.Unit, loop *lang.DoStmt, arr string) {
 	// (and so Table 2's overhead share) stay what the verdicts alone cost.
 	saved := a.Prop.Stats
 	defer func() { a.Prop.Stats = saved }()
-	lo, hi, okR := loopRange(loop)
+	lo, hi, okR := loopRange(a.In, loop)
 	if !okR {
 		return
 	}
@@ -437,7 +447,7 @@ func (a *Analyzer) envAssumptions(loop *lang.DoStmt, A, B ref) expr.Assumptions 
 			}
 		}
 	}
-	if lo, _, ok := loopRange(loop); ok && lo != nil {
+	if lo, _, ok := loopRange(a.In, loop); ok && lo != nil {
 		addVar(loop.Var.Name, lo)
 	}
 	for _, env := range []expr.Env{A.env, B.env} {

@@ -12,12 +12,12 @@ import (
 
 // loopRange returns the index range of the outer loop, normalizing negative
 // constant steps.
-func loopRange(loop *lang.DoStmt) (lo, hi *expr.Expr, ok bool) {
-	loE, hiE := expr.FromAST(loop.Lo), expr.FromAST(loop.Hi)
+func loopRange(in *expr.Interner, loop *lang.DoStmt) (lo, hi *expr.Expr, ok bool) {
+	loE, hiE := in.FromAST(loop.Lo), in.FromAST(loop.Hi)
 	if loop.Step == nil {
 		return loE, hiE, true
 	}
-	c, isConst := expr.FromAST(loop.Step).IsConst()
+	c, isConst := in.FromAST(loop.Step).IsConst()
 	switch {
 	case !isConst || c == 0:
 		return nil, nil, false
@@ -28,9 +28,11 @@ func loopRange(loop *lang.DoStmt) (lo, hi *expr.Expr, ok bool) {
 	}
 }
 
-// atomFor builds the symbolic atom array(sub).
-func atomFor(array string, sub *expr.Expr) *expr.Expr {
-	return expr.FromAST(&lang.ArrayRef{Name: array, Args: []lang.Expr{sub.ToAST()}})
+// atomFor builds the symbolic atom array(sub). The ArrayRef is a fresh
+// throwaway node, so it bypasses the per-node memo and goes straight to the
+// canonical-key table (nil-safe).
+func atomFor(in *expr.Interner, array string, sub *expr.Expr) *expr.Expr {
+	return in.Intern(expr.FromAST(&lang.ArrayRef{Name: array, Args: []lang.Expr{sub.ToAST()}}))
 }
 
 // injectiveIndependent handles subscripts of the form p(i) on both sides
@@ -68,7 +70,7 @@ func (a *Analyzer) injectiveIndependent(fa, fb *expr.Expr, v string, loop *lang.
 	if av, isVar := arg.IsVar(); !isVar || av != v {
 		return false, nil
 	}
-	lo, hi, ok := loopRange(loop)
+	lo, hi, ok := loopRange(a.In, loop)
 	if !ok {
 		return false, nil
 	}
@@ -103,7 +105,7 @@ func (a *Analyzer) cfvIndependent(fa, fb *expr.Expr, v string, loop *lang.DoStmt
 	if len(arrays) == 0 {
 		return false, TestNone, nil
 	}
-	lo, hi, okR := loopRange(loop)
+	lo, hi, okR := loopRange(a.In, loop)
 	if !okR {
 		return false, TestNone, nil
 	}
@@ -289,7 +291,7 @@ func (a *Analyzer) SimpleOffsetLength(u *lang.Unit, loop *lang.DoStmt, arr strin
 
 	// Derive the closed-form distance of ptr and check the per-iteration
 	// extents stay below it: 0 <= g < dist(v) for every reference.
-	lo, hi, okR := loopRange(loop)
+	lo, hi, okR := loopRange(a.In, loop)
 	if !okR {
 		return false, nil
 	}
@@ -345,7 +347,7 @@ func (a *Analyzer) offsetLengthIndependent(fa, fb *expr.Expr, v string, loop *la
 	if len(arrays) == 0 {
 		return false, nil
 	}
-	lo, hi, okR := loopRange(loop)
+	lo, hi, okR := loopRange(a.In, loop)
 	if !okR {
 		return false, nil
 	}
@@ -406,7 +408,7 @@ func (a *Analyzer) offsetLengthIndependent(fa, fb *expr.Expr, v string, loop *la
 		prev := norm
 		p := prop
 		norm = func(e *expr.Expr) *expr.Expr {
-			return cfdRewrite(prev(e), offName, p)
+			return cfdRewrite(a.In, prev(e), offName, p)
 		}
 	}
 	if !matched {
@@ -429,7 +431,7 @@ func (a *Analyzer) offsetLengthIndependent(fa, fb *expr.Expr, v string, loop *la
 // closed-form distance: off(s) with another atom off(t), s = t+1, becomes
 // off(t) + Dist(t). The rewrite iterates to resolve chains off(t+2) →
 // off(t+1) → off(t).
-func cfdRewrite(e *expr.Expr, off string, prop *property.ClosedFormDistance) *expr.Expr {
+func cfdRewrite(in *expr.Interner, e *expr.Expr, off string, prop *property.ClosedFormDistance) *expr.Expr {
 	for iter := 0; iter < 8; iter++ {
 		atoms := e.ArrayAtoms(off)
 		if len(atoms) < 2 {
@@ -449,7 +451,7 @@ func cfdRewrite(e *expr.Expr, off string, prop *property.ClosedFormDistance) *ex
 				}
 				st := atoms[kt]
 				if d, ok := ss.DiffConst(st); ok && d == 1 {
-					repl := atomFor(off, st).Add(prop.DistAt(st))
+					repl := atomFor(in, off, st).Add(prop.DistAt(st))
 					e = e.SubstAtom(ks, repl)
 					changed = true
 					break

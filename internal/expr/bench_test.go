@@ -1,0 +1,108 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func benchExprAST(b *testing.B, src string) lang.Expr {
+	b.Helper()
+	prog, err := lang.Parse("program t\n zz9 = " + src + "\nend\n")
+	if err != nil {
+		b.Fatalf("parse %q: %v", src, err)
+	}
+	return prog.Main.Body[0].(*lang.AssignStmt).Rhs
+}
+
+const benchSrc = "2*i + 3*j - a(i+1) + n*i - 4"
+
+// BenchmarkEqualLegacy measures the pre-interning Equal implementation,
+// e.Sub(o).IsZero(): a full clone-and-merge per comparison.
+func BenchmarkEqualLegacy(b *testing.B) {
+	x := FromAST(benchExprAST(b, benchSrc))
+	y := FromAST(benchExprAST(b, benchSrc))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !x.Sub(y).IsZero() {
+			b.Fatal("not equal")
+		}
+	}
+}
+
+// BenchmarkEqualStructural measures Equal on uninterned expressions: the
+// zero-allocation structural fast path.
+func BenchmarkEqualStructural(b *testing.B) {
+	x := FromAST(benchExprAST(b, benchSrc))
+	y := FromAST(benchExprAST(b, benchSrc))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !x.Equal(y) {
+			b.Fatal("not equal")
+		}
+	}
+}
+
+// BenchmarkEqualInterned measures Equal on interned expressions: a cached
+// canonical-key comparison (pointer comparison when shared).
+func BenchmarkEqualInterned(b *testing.B) {
+	in := NewInterner()
+	x := in.FromAST(benchExprAST(b, benchSrc))
+	y := in.FromAST(benchExprAST(b, benchSrc))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !x.Equal(y) {
+			b.Fatal("not equal")
+		}
+	}
+}
+
+// BenchmarkStringRender measures the canonical rendering of an uninterned
+// expression: sort the term keys and rebuild the string every call.
+func BenchmarkStringRender(b *testing.B) {
+	x := FromAST(benchExprAST(b, benchSrc))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.render()
+	}
+}
+
+// BenchmarkStringCached measures String on an interned expression: a field
+// read.
+func BenchmarkStringCached(b *testing.B) {
+	in := NewInterner()
+	x := in.FromAST(benchExprAST(b, benchSrc))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.String()
+	}
+}
+
+// BenchmarkFromAST measures repeated conversion of one AST node without an
+// interner.
+func BenchmarkFromAST(b *testing.B) {
+	node := benchExprAST(b, benchSrc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FromAST(node)
+	}
+}
+
+// BenchmarkFromASTMemoized measures repeated conversion of one AST node
+// through the interner's per-node memo.
+func BenchmarkFromASTMemoized(b *testing.B) {
+	in := NewInterner()
+	node := benchExprAST(b, benchSrc)
+	in.FromAST(node) // warm the memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = in.FromAST(node)
+	}
+}

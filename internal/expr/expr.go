@@ -54,6 +54,12 @@ type Expr struct {
 	// atoms maps atom names to a representative AST so expressions can be
 	// rebuilt and substituted into.
 	atoms map[string]lang.Expr
+	// ckey caches the canonical rendering (String). It is written by the
+	// package init for the shared constants and by Interner.Intern —
+	// never lazily inside String, which would race when batch
+	// compilations share Zero/One across goroutines. clone deliberately
+	// does not copy it: a clone exists to be mutated.
+	ckey string
 }
 
 // Zero is the constant 0.
@@ -61,6 +67,13 @@ var Zero = Const(0)
 
 // One is the constant 1.
 var One = Const(1)
+
+func init() {
+	// The shared constants cross compilation (and goroutine) boundaries;
+	// their keys must be set before any concurrent use.
+	Zero.ckey = Zero.render()
+	One.ckey = One.render()
+}
 
 // Const returns the constant expression c.
 func Const(c int64) *Expr { return &Expr{konst: ratInt(c)} }
@@ -230,6 +243,31 @@ func (e *Expr) addTerm(t *term) {
 	e.terms[k] = &term{coef: t.coef, factors: append([]factor(nil), t.factors...)}
 }
 
+// hasOverflow reports whether any coefficient of e overflowed int64
+// during the operation that produced it.
+func (e *Expr) hasOverflow() bool {
+	if e.konst.invalid() {
+		return true
+	}
+	for _, t := range e.terms {
+		if t.coef.invalid() {
+			return true
+		}
+	}
+	return false
+}
+
+// degrade replaces an arithmetic result whose coefficients overflowed
+// int64 with a single opaque atom standing for the whole value: the value
+// is well-defined, merely unrepresentable, so it is treated like any other
+// construct the algebra cannot see through (a sound "unknown"). The atom
+// key is built from the operands' canonical keys, so identical operations
+// on identical values degrade to identical atoms and equality stays exact.
+func degrade(op lang.Op, sym string, x, y *Expr) *Expr {
+	key := "{ovf:(" + x.String() + ")" + sym + "(" + y.String() + ")}"
+	return atomExpr(key, &lang.Binary{Op: op, X: x.ToAST(), Y: y.ToAST()})
+}
+
 // Add returns e + o.
 func (e *Expr) Add(o *Expr) *Expr {
 	r := e.clone()
@@ -238,6 +276,9 @@ func (e *Expr) Add(o *Expr) *Expr {
 		r.addTerm(t)
 	}
 	r.mergeAtoms(o)
+	if r.hasOverflow() {
+		return degrade(lang.OpAdd, "+", e, o)
+	}
 	return r
 }
 
@@ -245,6 +286,9 @@ func (e *Expr) Add(o *Expr) *Expr {
 func (e *Expr) AddConst(c int64) *Expr {
 	r := e.clone()
 	r.konst = r.konst.add(ratInt(c))
+	if r.konst.invalid() {
+		return degrade(lang.OpAdd, "+", e, Const(c))
+	}
 	return r
 }
 
@@ -265,6 +309,9 @@ func (e *Expr) mulRat(c rat) *Expr {
 	r.konst = r.konst.mul(c)
 	for _, t := range r.terms {
 		t.coef = t.coef.mul(c)
+	}
+	if r.hasOverflow() {
+		return degrade(lang.OpMul, "*", e, constRat(c))
 	}
 	return r
 }
@@ -312,22 +359,74 @@ func (e *Expr) Mul(o *Expr) *Expr {
 			r.addTerm(&term{coef: e.konst.mul(u.coef), factors: u.factors})
 		}
 	}
+	if r.hasOverflow() {
+		return degrade(lang.OpMul, "*", e, o)
+	}
 	return r
 }
 
-// Equal reports whether e and o have identical canonical forms.
+// Equal reports whether e and o have identical canonical forms. Interned
+// expressions compare by pointer or cached key; the general case is a
+// direct structural comparison of the canonical forms, which allocates
+// nothing (unlike the historical e.Sub(o).IsZero(), which cloned and
+// merged term maps for every call).
 func (e *Expr) Equal(o *Expr) bool {
-	return e.Sub(o).IsZero()
+	if e == o {
+		return true
+	}
+	if e.ckey != "" && o.ckey != "" {
+		return e.ckey == o.ckey
+	}
+	return e.structEq(o)
 }
 
-// DiffConst reports whether e - o is a constant, and returns it.
+// structEq compares canonical forms field by field. Terms are keyed by
+// their factor rendering and coefficients are normalized rats, so map
+// lookup plus struct equality decides identity exactly.
+func (e *Expr) structEq(o *Expr) bool {
+	if e.konst != o.konst || len(e.terms) != len(o.terms) {
+		return false
+	}
+	for k, t := range e.terms {
+		ot, ok := o.terms[k]
+		if !ok || ot.coef != t.coef {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffConst reports whether e - o is a constant, and returns it. Since
+// terms never carry zero coefficients, the difference is constant exactly
+// when the term maps agree, so no subtraction needs to be materialized.
 func (e *Expr) DiffConst(o *Expr) (int64, bool) {
-	return e.Sub(o).IsConst()
+	if len(e.terms) != len(o.terms) {
+		return 0, false
+	}
+	for k, t := range e.terms {
+		ot, ok := o.terms[k]
+		if !ok || ot.coef != t.coef {
+			return 0, false
+		}
+	}
+	d := e.konst.sub(o.konst)
+	if !d.isInt() {
+		return 0, false
+	}
+	return d.n, true
 }
 
 // String returns the canonical rendering of e. Identical expressions have
-// identical strings, so String doubles as a canonical key.
+// identical strings, so String doubles as a canonical key. Interned
+// expressions return the key cached at intern time.
 func (e *Expr) String() string {
+	if e.ckey != "" {
+		return e.ckey
+	}
+	return e.render()
+}
+
+func (e *Expr) render() string {
 	if len(e.terms) == 0 {
 		return e.konst.String()
 	}
@@ -418,28 +517,41 @@ func (e *Expr) Affine(v string) (coef int64, rest *Expr, ok bool) {
 // FromAST converts an AST expression to canonical symbolic form. Non-integer
 // or non-polynomial constructs (real literals, division, intrinsics, logical
 // operators) become opaque atoms, so the result is always well-defined.
-func FromAST(e lang.Expr) *Expr {
+// Interner.FromAST is the memoized variant; both share this conversion.
+func FromAST(e lang.Expr) *Expr { return fromASTIn(nil, e) }
+
+// fromASTIn is FromAST with an optional (nil-safe) interner: every AST
+// node's conversion is memoized and every result — including the
+// subexpressions the recursion builds — is interned.
+func fromASTIn(in *Interner, e lang.Expr) *Expr {
+	if r := in.lookupNode(e); r != nil {
+		return r
+	}
+	return in.storeNode(e, convertAST(in, e))
+}
+
+func convertAST(in *Interner, e lang.Expr) *Expr {
 	switch e := e.(type) {
 	case *lang.IntLit:
 		return Const(e.Value)
 	case *lang.Ident:
 		return Var(e.Name)
 	case *lang.ArrayRef:
-		return atomExpr(canonRefKey(e), canonRefAST(e))
+		return atomExpr(canonRefKeyIn(in, e), canonRefASTIn(in, e))
 	case *lang.Unary:
 		if e.Op == lang.OpNeg {
-			return FromAST(e.X).Neg()
+			return fromASTIn(in, e.X).Neg()
 		}
 	case *lang.Binary:
 		switch e.Op {
 		case lang.OpAdd:
-			return FromAST(e.X).Add(FromAST(e.Y))
+			return fromASTIn(in, e.X).Add(fromASTIn(in, e.Y))
 		case lang.OpSub:
-			return FromAST(e.X).Sub(FromAST(e.Y))
+			return fromASTIn(in, e.X).Sub(fromASTIn(in, e.Y))
 		case lang.OpMul:
-			return FromAST(e.X).Mul(FromAST(e.Y))
+			return fromASTIn(in, e.X).Mul(fromASTIn(in, e.Y))
 		case lang.OpDiv:
-			x, y := FromAST(e.X), FromAST(e.Y)
+			x, y := fromASTIn(in, e.X), fromASTIn(in, e.Y)
 			if c, ok := y.IsConst(); ok && c != 0 {
 				if xc, ok2 := x.IsConst(); ok2 {
 					return Const(xc / c)
@@ -454,7 +566,7 @@ func FromAST(e lang.Expr) *Expr {
 			key := fmt.Sprintf("(%s / %s)", x, y)
 			return atomExpr(key, &lang.Binary{Op: lang.OpDiv, X: x.ToAST(), Y: y.ToAST()})
 		case lang.OpPow:
-			x, y := FromAST(e.X), FromAST(e.Y)
+			x, y := fromASTIn(in, e.X), fromASTIn(in, e.Y)
 			if c, ok := y.IsConst(); ok && c >= 0 && c <= 4 {
 				r := One
 				for i := int64(0); i < c; i++ {
@@ -535,28 +647,28 @@ func (e *Expr) evenByParity() bool {
 	return true
 }
 
-// canonRefKey builds the canonical atom name for an array element or
+// canonRefKeyIn builds the canonical atom name for an array element or
 // intrinsic call: the name applied to the canonical form of each argument.
-func canonRefKey(e *lang.ArrayRef) string {
+func canonRefKeyIn(in *Interner, e *lang.ArrayRef) string {
 	parts := make([]string, len(e.Args))
 	for i, a := range e.Args {
-		parts[i] = FromAST(a).String()
+		parts[i] = fromASTIn(in, a).String()
 	}
 	return fmt.Sprintf("%s(%s)", e.Name, strings.Join(parts, ","))
 }
 
-func canonRefAST(e *lang.ArrayRef) lang.Expr {
+func canonRefASTIn(in *Interner, e *lang.ArrayRef) lang.Expr {
 	c := &lang.ArrayRef{NamePos: e.NamePos, Name: e.Name, Intrinsic: e.Intrinsic}
 	c.Args = make([]lang.Expr, len(e.Args))
 	for i, a := range e.Args {
-		c.Args[i] = FromAST(a).ToAST()
+		c.Args[i] = fromASTIn(in, a).ToAST()
 	}
 	return c
 }
 
 // RefKey returns the canonical atom name an ArrayRef would get, so clients
 // can look up or substitute array-element atoms.
-func RefKey(e *lang.ArrayRef) string { return canonRefKey(e) }
+func RefKey(e *lang.ArrayRef) string { return canonRefKeyIn(nil, e) }
 
 // toASTInt rebuilds an AST from a canonical form with integral
 // coefficients.
@@ -637,6 +749,12 @@ func (e *Expr) ToAST() lang.Expr {
 	}
 	if den == 1 {
 		return e.toASTInt()
+	}
+	if den == 0 {
+		// Unreachable: rational coefficients only arise from divExact,
+		// whose denominators are powers of two, so their lcm is their
+		// maximum and cannot overflow.
+		panic("expr: denominator lcm overflow")
 	}
 	scaled := e.MulConst(den)
 	return &lang.Binary{Op: lang.OpDiv, X: scaled.toASTInt(), Y: &lang.IntLit{Value: den}}

@@ -1,0 +1,152 @@
+package expr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAddOvfBoundaries(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		ok   bool
+	}{
+		{math.MaxInt64, 1, false},
+		{math.MaxInt64, 0, true},
+		{math.MinInt64, -1, false},
+		{math.MinInt64, 0, true},
+		{math.MaxInt64, math.MinInt64, true},
+		{1, 2, true},
+	}
+	for _, c := range cases {
+		got, ok := addOvf(c.a, c.b)
+		if ok != c.ok {
+			t.Errorf("addOvf(%d, %d): ok=%v, want %v", c.a, c.b, ok, c.ok)
+		}
+		if ok && got != c.a+c.b {
+			t.Errorf("addOvf(%d, %d) = %d", c.a, c.b, got)
+		}
+	}
+}
+
+func TestMulOvfBoundaries(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		ok   bool
+	}{
+		{math.MaxInt64, 2, false},
+		{math.MinInt64, -1, false}, // wraps silently in Go; must be caught
+		{-1, math.MinInt64, false},
+		{math.MinInt64, 1, true},
+		{math.MaxInt64, 1, true},
+		{0, math.MinInt64, true},
+		{1 << 32, 1 << 32, false},
+		{3, -7, true},
+	}
+	for _, c := range cases {
+		got, ok := mulOvf(c.a, c.b)
+		if ok != c.ok {
+			t.Errorf("mulOvf(%d, %d): ok=%v, want %v", c.a, c.b, ok, c.ok)
+		}
+		if ok && got != c.a*c.b {
+			t.Errorf("mulOvf(%d, %d) = %d", c.a, c.b, got)
+		}
+	}
+}
+
+func TestRatArithmeticDegradesToInvalid(t *testing.T) {
+	if r := ratInt(math.MaxInt64).add(ratInt(1)); !r.invalid() {
+		t.Errorf("MaxInt64 + 1 = %v, want invalid", r)
+	}
+	if r := ratInt(math.MaxInt64).mul(ratInt(2)); !r.invalid() {
+		t.Errorf("MaxInt64 * 2 = %v, want invalid", r)
+	}
+	if r := ratInt(math.MinInt64).neg(); !r.invalid() {
+		t.Errorf("-MinInt64 = %v, want invalid", r)
+	}
+	// Invalidity is sticky.
+	if r := ratInvalid.add(ratInt(1)); !r.invalid() {
+		t.Errorf("invalid + 1 = %v, want invalid", r)
+	}
+	if r := ratInvalid.mul(ratInt(0)); !r.invalid() {
+		t.Errorf("invalid * 0 = %v, want invalid", r)
+	}
+	// ratInvalid must not look like zero, or overflowed terms would be
+	// silently dropped before the degrade check.
+	if ratInvalid.isZero() {
+		t.Fatal("ratInvalid.isZero() true")
+	}
+	if ratInvalid.sign() != 0 {
+		t.Fatal("ratInvalid has a sign")
+	}
+}
+
+// TestExprOverflowDegrades checks that Expr-level operations turn an
+// overflowing result into an opaque atom (a sound "unknown") instead of a
+// silently wrapped constant.
+func TestExprOverflowDegrades(t *testing.T) {
+	big := Const(math.MaxInt64)
+	sum := big.AddConst(1)
+	if c, ok := sum.IsConst(); ok {
+		t.Fatalf("MaxInt64 + 1 stayed constant: %d", c)
+	}
+	prod := big.MulConst(2)
+	if c, ok := prod.IsConst(); ok {
+		t.Fatalf("MaxInt64 * 2 stayed constant: %d", c)
+	}
+	// The degraded result is a usable opaque atom: i + {ovf} - {ovf} == i.
+	i := Var("i")
+	e := i.Add(sum)
+	if !e.Sub(sum).Equal(i) {
+		t.Fatalf("degraded atom does not cancel: %s", e.Sub(sum))
+	}
+	// Symbolic overflow: coefficient blowup in a term must not leave a
+	// wrapped affine coefficient behind.
+	x := Var("i").MulConst(math.MaxInt64).MulConst(2)
+	if coef, _, ok := x.Affine("i"); ok && coef != 0 {
+		t.Fatalf("wrapped coefficient leaked: %d", coef)
+	}
+}
+
+// TestDegradeDeterministic checks that the same overflowing operands always
+// produce the same opaque atom, so canonical keys stay stable.
+func TestDegradeDeterministic(t *testing.T) {
+	a := Const(math.MaxInt64).Add(Var("n"))
+	b := Const(math.MaxInt64).Add(Var("n"))
+	x := a.MulConst(4)
+	y := b.MulConst(4)
+	if x.String() != y.String() {
+		t.Fatalf("degraded keys differ: %q vs %q", x, y)
+	}
+	if !x.Equal(y) {
+		t.Fatalf("degraded atoms not equal")
+	}
+}
+
+// TestDiffConstNearOverflow checks DiffConst refuses to answer when the
+// constant difference overflows.
+func TestDiffConstNearOverflow(t *testing.T) {
+	i := Var("i")
+	a := i.AddConst(math.MaxInt64)
+	b := i.AddConst(-2) // a - b overflows int64
+	if d, ok := a.DiffConst(b); ok {
+		t.Fatalf("DiffConst returned %d across an overflow", d)
+	}
+	// And still answers when in range.
+	c := i.AddConst(math.MaxInt64 - 5)
+	if d, ok := a.DiffConst(c); !ok || d != 5 {
+		t.Fatalf("DiffConst = %d, %v; want 5, true", d, ok)
+	}
+}
+
+// TestProveGE0OverflowSound checks the range prover refuses (rather than
+// unsoundly proves) facts about degraded expressions.
+func TestProveGE0OverflowSound(t *testing.T) {
+	bad := Const(math.MaxInt64).AddConst(1)
+	if ProveGE0(bad.Sub(bad).AddConst(-1), nil) {
+		t.Fatalf("proved a negative constant nonnegative")
+	}
+	neg := bad.Mul(Const(-1)).Sub(bad) // opaque atoms, nothing provable
+	if ProveGE0(neg, nil) {
+		t.Fatalf("proved an unknown expression nonnegative")
+	}
+}

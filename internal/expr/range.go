@@ -51,6 +51,9 @@ func (a Assumptions) signOf(atom string) Sign {
 // termSign computes the sign of coef·Πatoms^pow under the assumptions.
 // The caller guarantees integral coefficients (ProveGE0 scales first).
 func termSign(t *term, a Assumptions) Sign {
+	if t.coef.invalid() {
+		return Unknown // overflowed coefficient: no usable sign
+	}
 	// Start from the coefficient.
 	var s Sign
 	switch {
@@ -113,6 +116,9 @@ func ProveGE0(e *Expr, a Assumptions) bool {
 		if !t.coef.isInt() {
 			den = lcm64(den, t.coef.d)
 		}
+	}
+	if den == 0 {
+		return false // denominator lcm overflow: cannot scale, cannot prove
 	}
 	if den != 1 {
 		e = e.MulConst(den)

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/core/property"
+	"repro/internal/expr"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 )
@@ -148,6 +149,18 @@ func (br *BatchResult) Stats() property.Stats {
 	for _, it := range br.Items {
 		if it.Err == nil {
 			st.Add(it.Result.PropertyStats)
+		}
+	}
+	return st
+}
+
+// InternStats sums the expression-interner counters of every successful
+// item (all zero when the batch ran with NoExprIntern).
+func (br *BatchResult) InternStats() expr.InternStats {
+	var st expr.InternStats
+	for _, it := range br.Items {
+		if it.Err == nil {
+			st.Add(it.Result.InternStats)
 		}
 	}
 	return st

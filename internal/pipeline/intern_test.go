@@ -1,0 +1,74 @@
+package pipeline_test
+
+// Equivalence tests for the expression interner: hash-consing is a pure
+// performance layer, so every observable compiler output — summaries,
+// decision logs, verdicts, metrics counters — must be byte-identical with
+// the interner on and off (NoExprIntern), for generated programs and for
+// the paper kernels, serial and parallel.
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/kernels"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/pipeline"
+	"repro/internal/progen"
+)
+
+// compileAblation compiles the inputs twice — interner on and off — with
+// telemetry enabled, and fails unless every output is identical.
+func compileAblation(t *testing.T, inputs []pipeline.BatchInput, jobs int) {
+	t.Helper()
+	on := pipeline.CompileBatch(inputs, parallel.Full, pipeline.Reorganized,
+		pipeline.Options{Jobs: jobs, Recorder: obs.New()})
+	if err := on.Err(); err != nil {
+		t.Fatalf("intern-on batch failed: %v", err)
+	}
+	off := pipeline.CompileBatch(inputs, parallel.Full, pipeline.Reorganized,
+		pipeline.Options{Jobs: jobs, Recorder: obs.New(), NoExprIntern: true})
+	if err := off.Err(); err != nil {
+		t.Fatalf("intern-off batch failed: %v", err)
+	}
+	if on.Explain() != off.Explain() {
+		t.Errorf("decision logs differ between intern-on and intern-off")
+	}
+	if !bench.InternAblationIdentical(on, off) {
+		t.Errorf("intern-on and intern-off outputs differ (summary, explain or counters)")
+	}
+	if st := on.InternStats(); st.Hits+st.Misses == 0 {
+		t.Errorf("intern-on batch recorded no interner lookups")
+	}
+	if st := off.InternStats(); st.Hits+st.Misses != 0 {
+		t.Errorf("intern-off batch recorded interner lookups: %+v", st)
+	}
+}
+
+// TestInternAblationGenerated runs randomly generated programs through the
+// pipeline with the interner on and off: identical explain logs, verdicts
+// and section keys (all of which surface in the summary and decision log).
+func TestInternAblationGenerated(t *testing.T) {
+	var inputs []pipeline.BatchInput
+	for seed := int64(0); seed < 12; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		inputs = append(inputs, pipeline.BatchInput{
+			Name: "gen-" + strconv.FormatInt(seed, 10),
+			Src:  progen.Generate(r, progen.Config{Subroutines: seed%3 == 0}),
+		})
+	}
+	compileAblation(t, inputs, 1)
+}
+
+// TestInternAblationKernels runs the paper kernels as a concurrent batch
+// (jobs > 1) with the interner on and off. This is the -race CI target:
+// per-unit interners must stay confined to their compilation goroutine.
+func TestInternAblationKernels(t *testing.T) {
+	var inputs []pipeline.BatchInput
+	for _, k := range kernels.All(kernels.Small) {
+		inputs = append(inputs, pipeline.BatchInput{Name: k.Name, Src: k.Source})
+	}
+	compileAblation(t, inputs, 4)
+}

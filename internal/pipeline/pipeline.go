@@ -21,6 +21,7 @@ import (
 	"repro/internal/core/property"
 	"repro/internal/dataflow"
 	"repro/internal/deptest"
+	"repro/internal/expr"
 	"repro/internal/lang"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -73,6 +74,9 @@ type Result struct {
 	Phases []PhaseTime
 	// PropertyStats are the analysis counters.
 	PropertyStats property.Stats
+	// InternStats are the expression-interner counters, summed over the
+	// compilation's interners (zero with NoExprIntern).
+	InternStats expr.InternStats
 	// Interchanged counts loop nests swapped by the optional interchange
 	// pass.
 	Interchanged int
@@ -117,6 +121,10 @@ type Options struct {
 	// NoPropertyCache disables the property-query memo table (for
 	// measuring its effect; the verdicts are identical either way).
 	NoPropertyCache bool
+	// NoExprIntern disables expression hash-consing (the ablation proving
+	// interning changes performance, never output: results are byte-identical
+	// either way).
+	NoExprIntern bool
 }
 
 // Compile runs the full pipeline on source text.
@@ -205,11 +213,16 @@ func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options)
 	// its counters are folded into the Result below.
 	interchanged := 0
 	var icStats property.Stats
+	var icIntern expr.InternStats
 	if opts.Interchange {
 		end = phase("interchange")
 		var prop *property.Analysis
 		if mode == parallel.Full {
-			prop = property.New(info, cfg.BuildHCGJobs(prog, opts.Jobs), mod)
+			ichp := cfg.BuildHCGJobs(prog, opts.Jobs)
+			if opts.NoExprIntern {
+				ichp.In = nil
+			}
+			prop = property.New(info, ichp, mod)
 			prop.Rec = rec
 			prop.NoCache = opts.NoPropertyCache
 		}
@@ -224,6 +237,7 @@ func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options)
 		}
 		if prop != nil {
 			icStats = prop.Stats
+			icIntern = prop.Interner().Stats()
 		}
 		end()
 	}
@@ -239,6 +253,9 @@ func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options)
 	var hp *cfg.HProgram
 	if mode == parallel.Full {
 		hp = cfg.BuildHCGJobs(prog, opts.Jobs)
+		if opts.NoExprIntern {
+			hp.In = nil
+		}
 	}
 	end()
 
@@ -266,6 +283,10 @@ func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options)
 	res.PropertyStats = *pz.PropertyStats()
 	res.PropertyStats.Add(icStats)
 	res.PropertyTime = res.PropertyStats.Elapsed
+	if hp != nil {
+		res.InternStats = hp.In.Stats()
+	}
+	res.InternStats.Add(icIntern)
 	if rec.Enabled() {
 		st := res.PropertyStats
 		rec.Count("property.queries", int64(st.Queries))
@@ -276,6 +297,14 @@ func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options)
 		rec.Count("property.cache_hits", int64(st.CacheHits))
 		rec.Count("property.cache_misses", int64(st.CacheMisses))
 		rec.Count("property.cache_invalidations", int64(st.CacheInvalidations))
+		// The expr.intern.* counters differ between the intern-on and
+		// intern-off configurations by construction; equivalence checks
+		// must exclude them (everything else is identical).
+		is := res.InternStats
+		rec.Count("expr.intern.hits", is.Hits)
+		rec.Count("expr.intern.misses", is.Misses)
+		rec.Count("expr.intern.node_hits", is.NodeHits)
+		rec.Count("expr.intern.node_misses", is.NodeMisses)
 	}
 	return res, nil
 }

@@ -56,9 +56,12 @@ type Result struct {
 // Analyzer runs the privatization test. Prop may be nil (no irregular
 // access analysis: the paper's baseline configuration).
 type Analyzer struct {
-	Info   *sem.Info
-	Mod    *dataflow.ModInfo
-	Prop   *property.Analysis
+	Info *sem.Info
+	Mod  *dataflow.ModInfo
+	Prop *property.Analysis
+	// In is the compilation's expression interner, shared with the property
+	// analysis (nil disables interning; all uses are nil-safe).
+	In     *expr.Interner
 	Assume expr.Assumptions
 	// DisableSingleIndex turns off the §2 analyses (consecutively-written
 	// and stack), leaving only the traditional affine test — the paper's
@@ -70,11 +73,15 @@ type Analyzer struct {
 
 // New builds an Analyzer; prop may be nil.
 func New(info *sem.Info, mod *dataflow.ModInfo, prop *property.Analysis) *Analyzer {
-	return &Analyzer{
+	a := &Analyzer{
 		Info: info, Mod: mod, Prop: prop,
 		Assume: expr.Assumptions{},
 		flat:   map[*lang.Unit]*cfg.Graph{},
 	}
+	if prop != nil {
+		a.In = prop.Interner()
+	}
+	return a
 }
 
 func (a *Analyzer) graph(u *lang.Unit) *cfg.Graph {
@@ -279,7 +286,7 @@ func (w *walker) readSection(r dataflow.Ref, env expr.Env) (*section.Section, []
 	dims := make([]expr.Range, len(r.Args))
 	var props []string
 	for i, arg := range r.Args {
-		e := expr.FromAST(arg)
+		e := w.a.In.FromAST(arg)
 		if len(atomArrays(e)) == 0 {
 			// Affine-in-scalars subscript: keep the exact symbolic point;
 			// checkRead aggregates over the environment when a whole-loop
@@ -426,7 +433,7 @@ func (w *walker) checkRead(r dataflow.Ref, env expr.Env) {
 func (w *walker) writeSection(r dataflow.Ref, env expr.Env) *section.Section {
 	dims := make([]expr.Range, len(r.Args))
 	for i, arg := range r.Args {
-		dims[i] = expr.Point(expr.FromAST(arg))
+		dims[i] = expr.Point(w.a.In.FromAST(arg))
 	}
 	return section.NewMulti(r.Array, dims)
 }
@@ -472,7 +479,7 @@ func (w *walker) assign(s *lang.AssignStmt, env expr.Env) {
 		// privatizing them would lose all but the last iteration's data
 		// on copy-out.
 		for _, arg := range wr.Args {
-			if expr.FromAST(arg).MentionsVar(w.outer.Var.Name) {
+			if w.a.In.FromAST(arg).MentionsVar(w.outer.Var.Name) {
 				w.noteOuterDependent(wr.Array)
 			}
 		}
@@ -494,7 +501,7 @@ func (w *walker) assign(s *lang.AssignStmt, env expr.Env) {
 		w.invalidateScalar(sc)
 		// Track simple invariant assignments for CW entry values.
 		if id, ok := s.Lhs.(*lang.Ident); ok && id.Name == sc {
-			v := expr.FromAST(s.Rhs)
+			v := w.a.In.FromAST(s.Rhs)
 			if !v.MentionsVar(sc) {
 				w.scalars[sc] = v
 			}
@@ -557,11 +564,11 @@ func (w *walker) doLoop(s *lang.DoStmt, env expr.Env) {
 		w.checkRead(r, env)
 	}
 
-	lo := expr.FromAST(s.Lo)
-	hi := expr.FromAST(s.Hi)
+	lo := w.a.In.FromAST(s.Lo)
+	hi := w.a.In.FromAST(s.Hi)
 	dense := s.Step == nil
 	if s.Step != nil {
-		if c, ok := expr.FromAST(s.Step).IsConst(); ok {
+		if c, ok := w.a.In.FromAST(s.Step).IsConst(); ok {
 			switch {
 			case c == 1:
 				dense = true

@@ -23,6 +23,11 @@ import (
 type Section struct {
 	Array string
 	Dims  []expr.Range
+
+	// key memoizes Key(). Safe because sections are built (or Cloned — which
+	// deliberately does not copy key) before being mutated, and never mutated
+	// after first being used as a map key.
+	key string
 }
 
 // New builds a one-dimensional section array[lo:hi].
@@ -87,6 +92,13 @@ func (s *Section) String() string {
 // writes both bounds with a separator no expression rendering contains,
 // so two sections share a Key exactly when they are structurally equal.
 func (s *Section) Key() string {
+	if s.key == "" {
+		s.key = s.renderKey()
+	}
+	return s.key
+}
+
+func (s *Section) renderKey() string {
 	var sb strings.Builder
 	sb.WriteString(s.Array)
 	for _, d := range s.Dims {

@@ -79,6 +79,9 @@ type Options struct {
 	// NoPropertyCache disables the property-query memo table (verdicts
 	// are identical either way; used to measure the cache).
 	NoPropertyCache bool
+	// NoExprIntern disables symbolic-expression hash-consing (output is
+	// byte-identical either way; used to measure the interner).
+	NoExprIntern bool
 }
 
 // Result is a finished compilation.
@@ -113,6 +116,7 @@ func Compile(src string, opts Options) (*Result, error) {
 		Recorder:        rec,
 		Jobs:            opts.Jobs,
 		NoPropertyCache: opts.NoPropertyCache,
+		NoExprIntern:    opts.NoExprIntern,
 	})
 	if err != nil {
 		return nil, err
@@ -144,6 +148,7 @@ func CompileBatch(inputs []BatchInput, opts Options) *BatchResult {
 		Recorder:        rec,
 		Jobs:            opts.Jobs,
 		NoPropertyCache: opts.NoPropertyCache,
+		NoExprIntern:    opts.NoExprIntern,
 	})
 }
 
