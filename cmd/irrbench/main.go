@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/comperr"
 	"repro/internal/kernels"
 )
 
@@ -172,7 +173,9 @@ func writeOut(path string, data []byte) {
 	}
 }
 
+// fail reports err and exits with the code of its error kind (3 parse,
+// 4 analysis, 5 resource limit, 6 canceled, 1 otherwise).
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "irrbench:", err)
-	os.Exit(1)
+	os.Exit(comperr.ExitCode(err))
 }

@@ -27,11 +27,18 @@
 //	-explain                    print the per-loop decision log (telemetry)
 //	-metrics out.json           write the metrics JSON document ("-": stdout)
 //	-no-expr-intern             disable expression hash-consing (ablation)
+//	-timeout d                  abort compilation (and -run) after d (e.g. 30s)
+//	-max-query-steps N          bound property-query propagation
 //	-cpuprofile out.pprof       write a CPU profile of the compilation
 //	-memprofile out.pprof       write an allocation profile at exit
+//
+// Exit codes follow the error taxonomy of the library: 0 success,
+// 1 internal error, 2 usage, 3 parse error, 4 analysis error, 5 resource
+// limit exceeded, 6 canceled (timeout).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -43,6 +50,7 @@ import (
 	"strings"
 
 	irregular "repro"
+	"repro/internal/comperr"
 	"repro/internal/kernels"
 )
 
@@ -60,9 +68,18 @@ func main() {
 	explain := flag.Bool("explain", false, "print the per-loop decision log (query traces for failed properties)")
 	metrics := flag.String("metrics", "", "write the metrics JSON document to this path (\"-\" for stdout)")
 	noIntern := flag.Bool("no-expr-intern", false, "disable expression hash-consing (output is identical; for measurement)")
+	timeout := flag.Duration("timeout", 0, "abort compilation (and -run) after this duration (0: none)")
+	maxQuerySteps := flag.Int("max-query-steps", 0, "bound property-query propagation steps (0: unlimited)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this path at exit")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -126,17 +143,18 @@ func main() {
 		Telemetry:       *explain || *metrics != "",
 		Jobs:            *jobs,
 		NoExprIntern:    *noIntern,
+		Limits:          irregular.Limits{MaxQuerySteps: *maxQuerySteps},
 	}
 
 	if len(inputs) > 1 {
 		if *run || *dump || *bounds {
 			fail(fmt.Errorf("-run, -dump and -bounds are single-program flags; got %d inputs", len(inputs)))
 		}
-		compileBatch(inputs, copts, *explain, *metrics)
+		compileBatch(ctx, inputs, copts, *explain, *metrics)
 		return
 	}
 
-	res, err := irregular.Compile(inputs[0].Src, copts)
+	res, err := irregular.CompileContext(ctx, inputs[0].Src, copts)
 	if err != nil {
 		fail(err)
 	}
@@ -158,7 +176,7 @@ func main() {
 		fmt.Print(res.BoundsChecks().Summary())
 	}
 	if *run {
-		out, err := res.Run(irregular.RunOptions{
+		out, err := res.RunContext(ctx, irregular.RunOptions{
 			Processors:            *procs,
 			Profile:               irregular.MachineProfile(*mach),
 			Out:                   os.Stdout,
@@ -229,10 +247,10 @@ func collectInputs(args []string) ([]irregular.BatchInput, error) {
 
 // compileBatch runs the multi-input mode: summaries in input order, then
 // the optional decision logs and the metrics document (one entry per
-// input). A failed input does not stop the others; the exit code is 1 if
-// any failed.
-func compileBatch(inputs []irregular.BatchInput, opts irregular.Options, explain bool, metrics string) {
-	br := irregular.CompileBatch(inputs, opts)
+// input). A failed input does not stop the others; the exit code is the
+// first failed input's (in input order).
+func compileBatch(ctx context.Context, inputs []irregular.BatchInput, opts irregular.Options, explain bool, metrics string) {
+	br := irregular.CompileBatchContext(ctx, inputs, opts)
 	fmt.Print(br.Summary())
 	if explain {
 		fmt.Println()
@@ -273,7 +291,9 @@ func compileBatch(inputs []irregular.BatchInput, opts irregular.Options, explain
 	}
 }
 
+// fail reports err and exits with the code of its error kind (3 parse,
+// 4 analysis, 5 resource limit, 6 canceled, 1 otherwise).
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "irrc:", err)
-	os.Exit(1)
+	os.Exit(comperr.ExitCode(err))
 }

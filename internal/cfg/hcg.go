@@ -1,11 +1,13 @@
 package cfg
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 
+	"repro/internal/comperr"
 	"repro/internal/expr"
 	"repro/internal/lang"
 )
@@ -171,12 +173,27 @@ func BuildHCG(prog *lang.Program) *HProgram {
 }
 
 // BuildHCGJobs is BuildHCG with the per-unit builds spread over up to jobs
-// goroutines. Each unit's section graph is self-contained (own ID counter,
-// own label table), so the builds are independent; the per-unit results are
-// merged into the HProgram in prog.Units() order, making the result — node
-// IDs, StmtNode first-wins indexing, everything — identical to the serial
-// build. jobs < 1 means GOMAXPROCS.
+// goroutines; see BuildHCGCtx for the pooling contract.
 func BuildHCGJobs(prog *lang.Program, jobs int) *HProgram {
+	hp, _ := BuildHCGCtx(context.Background(), prog, jobs)
+	return hp
+}
+
+// BuildHCGCtx is BuildHCGJobs under a context: the dispatch loop stops
+// handing units to the pool once ctx fires and the call returns a typed
+// cancellation error (in-flight unit builds, which are short and
+// allocation-only, are allowed to finish). Each unit's section graph is
+// self-contained (own ID counter, own label table), so the builds are
+// independent; the per-unit results are merged into the HProgram in
+// prog.Units() order, making the result — node IDs, StmtNode first-wins
+// indexing, everything — identical to the serial build. jobs < 1 means
+// GOMAXPROCS.
+//
+// A panic inside a pool worker is captured and re-raised on the calling
+// goroutine after the pool drains, so callers that isolate panics (the irrd
+// server) observe it as an ordinary recoverable panic instead of a process
+// crash.
+func BuildHCGCtx(ctx context.Context, prog *lang.Program, jobs int) (*HProgram, error) {
 	hp := &HProgram{
 		Program:  prog,
 		Units:    map[*lang.Unit]*HGraph{},
@@ -191,23 +208,53 @@ func BuildHCGJobs(prog *lang.Program, jobs int) *HProgram {
 		jobs = len(units)
 	}
 	graphs := make([]*HGraph, len(units))
+	done := ctx.Done()
+	canceled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	if jobs <= 1 {
 		for i, u := range units {
+			if canceled() {
+				return nil, comperr.Canceled(ctx.Err())
+			}
 			graphs[i] = buildUnitHCG(u)
 		}
 	} else {
 		var wg sync.WaitGroup
+		var panicOnce sync.Once
+		var panicked any
 		sem := make(chan struct{}, jobs)
+		stopped := false
 		for i, u := range units {
+			if canceled() {
+				stopped = true
+				break
+			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panicOnce.Do(func() { panicked = r })
+					}
+				}()
 				sem <- struct{}{}
 				defer func() { <-sem }()
 				graphs[i] = buildUnitHCG(u)
 			}()
 		}
 		wg.Wait()
+		if panicked != nil {
+			panic(panicked)
+		}
+		if stopped {
+			return nil, comperr.Canceled(ctx.Err())
+		}
 	}
 	for i, u := range units {
 		g := graphs[i]
@@ -227,7 +274,7 @@ func BuildHCGJobs(prog *lang.Program, jobs int) *HProgram {
 		}
 		index(g)
 	}
-	return hp
+	return hp, nil
 }
 
 // buildUnitHCG builds one unit's section graph; safe to call concurrently

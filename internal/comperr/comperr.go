@@ -1,0 +1,158 @@
+// Package comperr defines the compiler's typed error taxonomy and the
+// cooperative cancellation / resource-limit guard that the analyses poll.
+//
+// Every error that crosses the public API boundary wraps exactly one of the
+// four kind sentinels (ErrParse, ErrAnalysis, ErrResourceLimit,
+// ErrCanceled), so callers classify failures with errors.Is instead of
+// string matching, and the CLIs and the irrd server map them to distinct
+// exit codes and HTTP statuses. Cancellation errors additionally wrap the
+// context error (context.Canceled or context.DeadlineExceeded), so both
+// errors.Is(err, ErrCanceled) and errors.Is(err, context.DeadlineExceeded)
+// hold.
+package comperr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The error kinds of the public API. They are sentinels: match with
+// errors.Is, never by string.
+var (
+	// ErrParse marks source text the parser rejected.
+	ErrParse = errors.New("parse error")
+	// ErrAnalysis marks a failure inside semantic analysis or the
+	// transformation passes (including internal invariant violations).
+	ErrAnalysis = errors.New("analysis error")
+	// ErrResourceLimit marks a compilation or execution that exceeded a
+	// configured bound (source bytes, query-propagation steps, simulated
+	// machine steps, server admission) instead of running unbounded.
+	ErrResourceLimit = errors.New("resource limit exceeded")
+	// ErrCanceled marks a compilation or execution aborted by context
+	// cancellation or deadline expiry; it always also wraps the
+	// context error.
+	ErrCanceled = errors.New("compilation canceled")
+)
+
+// Error pairs one kind sentinel with the underlying cause. errors.Is and
+// errors.As traverse both: the kind classifies, the cause explains.
+type Error struct {
+	kind error
+	err  error
+}
+
+// Error renders the cause; the kind is for classification, not prose.
+func (e *Error) Error() string { return e.err.Error() }
+
+// Unwrap exposes the kind sentinel and the cause to errors.Is / errors.As.
+func (e *Error) Unwrap() []error { return []error{e.kind, e.err} }
+
+// Kind returns the kind sentinel this error was classified as.
+func (e *Error) Kind() error { return e.kind }
+
+// Wrap classifies err under kind. A nil err stays nil; an err already
+// classified under the same kind is returned unchanged.
+func Wrap(kind, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, kind) {
+		return err
+	}
+	return &Error{kind: kind, err: err}
+}
+
+// Parsef builds an ErrParse-classified error.
+func Parsef(format string, args ...any) error {
+	return &Error{kind: ErrParse, err: fmt.Errorf(format, args...)}
+}
+
+// Analysisf builds an ErrAnalysis-classified error.
+func Analysisf(format string, args ...any) error {
+	return &Error{kind: ErrAnalysis, err: fmt.Errorf(format, args...)}
+}
+
+// Limitf builds an ErrResourceLimit-classified error.
+func Limitf(format string, args ...any) error {
+	return &Error{kind: ErrResourceLimit, err: fmt.Errorf(format, args...)}
+}
+
+// Canceled builds an ErrCanceled-classified error around a context error
+// (nil defaults to context.Canceled), preserving errors.Is against both the
+// sentinel and the context error.
+func Canceled(cause error) error {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return &Error{kind: ErrCanceled, err: cause}
+}
+
+// KindOf returns the kind sentinel err is classified under, or nil for an
+// unclassified (internal) error. Bare context errors count as ErrCanceled.
+func KindOf(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return ErrCanceled
+	case errors.Is(err, ErrResourceLimit):
+		return ErrResourceLimit
+	case errors.Is(err, ErrParse):
+		return ErrParse
+	case errors.Is(err, ErrAnalysis):
+		return ErrAnalysis
+	}
+	return nil
+}
+
+// KindString names the kind for machine-readable reports (the irrd error
+// envelope): "parse", "analysis", "resource_limit", "canceled", or
+// "internal" for unclassified errors.
+func KindString(err error) string {
+	switch KindOf(err) {
+	case ErrParse:
+		return "parse"
+	case ErrAnalysis:
+		return "analysis"
+	case ErrResourceLimit:
+		return "resource_limit"
+	case ErrCanceled:
+		return "canceled"
+	}
+	return "internal"
+}
+
+// Exit codes of the CLIs, one per error kind (0 success, 1 internal,
+// 2 usage — the flag package's convention).
+const (
+	ExitOK       = 0
+	ExitInternal = 1
+	ExitUsage    = 2
+	ExitParse    = 3
+	ExitAnalysis = 4
+	ExitLimit    = 5
+	ExitCanceled = 6
+)
+
+// ExitCode maps an error to the CLI exit code of its kind.
+func ExitCode(err error) int {
+	switch KindOf(err) {
+	case nil:
+		if err == nil {
+			return ExitOK
+		}
+		return ExitInternal
+	case ErrParse:
+		return ExitParse
+	case ErrAnalysis:
+		return ExitAnalysis
+	case ErrResourceLimit:
+		return ExitLimit
+	case ErrCanceled:
+		return ExitCanceled
+	}
+	return ExitInternal
+}

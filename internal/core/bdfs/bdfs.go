@@ -37,6 +37,11 @@ type Config struct {
 	// FProc, if non-nil, is invoked on every visited node (the paper's
 	// fproc hook).
 	FProc func(*cfg.Node)
+	// Check, if non-nil, is invoked on every visited node before it is
+	// processed: the cooperative cancellation checkpoint (it aborts by
+	// panicking with comperr.Abort, recovered at the pipeline boundary).
+	// It never influences the search result.
+	Check func()
 }
 
 // Run performs the bounded depth-first search from start, following
@@ -67,6 +72,9 @@ func RunFromSuccessors(start *cfg.Node, c Config) Result {
 
 func run(u *cfg.Node, c Config, visited map[*cfg.Node]bool) Result {
 	visited[u] = true
+	if c.Check != nil {
+		c.Check()
+	}
 	if c.FProc != nil {
 		c.FProc(u)
 	}

@@ -56,6 +56,7 @@ func (s *session) detectGather(n *cfg.HNode, array string) *GatherInfo {
 	if acc == nil {
 		return nil
 	}
+	acc.Check = s.a.Guard.CheckFn()
 	counter := acc.Index
 	if counter == d.Var.Name {
 		return nil // the counter must be distinct from the loop index
@@ -121,6 +122,7 @@ func (s *session) detectGather(n *cfg.HNode, array string) *GatherInfo {
 			Succs:   succs,
 			FBound:  func(nd *cfg.Node) bool { return nd == loop.Head },
 			FFailed: func(nd *cfg.Node) bool { return isWrite[nd] },
+			Check:   s.a.Guard.CheckFn(),
 		})
 		if res == bdfs.Failed {
 			return nil

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/cfg"
+	"repro/internal/comperr"
 	"repro/internal/dataflow"
 	"repro/internal/expr"
 	"repro/internal/lang"
@@ -84,6 +85,13 @@ type Analysis struct {
 	// NoCache disables the VerifyCached memo table: every query
 	// re-propagates (the cold-cache benchmark configuration).
 	NoCache bool
+	// Guard is the cooperative cancellation / step-budget checkpoint,
+	// polled once per propagated node. Nil (the default) is a disabled
+	// guard; when set by a context-aware compilation, a fired deadline or
+	// an exhausted query-step budget aborts the query mid-propagation
+	// (recovered and typed at the pipeline boundary). The checkpoint only
+	// reads, so verdicts are identical whenever it does not fire.
+	Guard *comperr.Guard
 
 	flat  map[*lang.Unit]*cfg.Graph
 	loops map[*lang.Unit]map[lang.Stmt]*cfg.Loop
@@ -356,6 +364,7 @@ func (s *session) solveGraph(g *cfg.HGraph, seeds map[*cfg.HNode]*section.Set) (
 // "query.step" event per node carrying the node class, the HCG node label
 // and the step outcome (killed / discharged / propagated).
 func (s *session) queryProp(n *cfg.HNode, set *section.Set) (bool, *section.Set) {
+	s.a.Guard.Step()
 	s.a.Stats.NodesVisited++
 	if !s.trace {
 		return s.queryPropClass(n, set)

@@ -93,6 +93,12 @@ type Access struct {
 	// excluding the analyzed loop's own header.
 	IndexDefs []*cfg.Node
 
+	// Check, when non-nil, is invoked at every node the classification
+	// bDFS runs visit — the cooperative cancellation checkpoint. Callers
+	// that compile under a context set it (from comperr.Guard.CheckFn)
+	// between Find and the Check* tests; it never changes a verdict.
+	Check func()
+
 	classes map[*cfg.Node]classInfo
 }
 
@@ -455,6 +461,7 @@ func CheckConsecutivelyWritten(a *Access) *CWResult {
 			FFailed: func(n *cfg.Node) bool {
 				return n == sentinel || isStep(n)
 			},
+			Check: a.Check,
 		})
 		if res == bdfs.Failed {
 			return nil
@@ -508,6 +515,7 @@ func (a *Access) readsCovered() bool {
 				ci := a.classes[n]
 				return ci.inc || ci.dec || ci.reset || ci.other
 			},
+			Check: a.Check,
 		})
 		if res == bdfs.Failed {
 			return false
@@ -626,6 +634,7 @@ func CheckStack(a *Access) *StackResult {
 			Succs:   succs,
 			FBound:  func(n *cfg.Node) bool { return rule.bound(classOf(n)) },
 			FFailed: func(n *cfg.Node) bool { return n != sentinel && rule.failed(classOf(n)) },
+			Check:   a.Check,
 		})
 		if res == bdfs.Failed {
 			return nil
@@ -653,6 +662,7 @@ func (a *Access) resetFirst(sentinel *cfg.Node) bool {
 			ci := a.classes[n]
 			return ci.inc || ci.dec || ci.write || ci.read || ci.other
 		},
+		Check: a.Check,
 	})
 	return res == bdfs.Succeeded
 }

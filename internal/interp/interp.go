@@ -14,10 +14,12 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 
+	"repro/internal/comperr"
 	"repro/internal/lang"
 	"repro/internal/machine"
 	"repro/internal/sem"
@@ -40,6 +42,11 @@ type Options struct {
 	Out      io.Writer        // nil: print output discarded
 	MaxSteps uint64           // 0: default limit
 	Schedule Schedule
+	// Ctx, when non-nil, cancels the execution cooperatively: the step
+	// accounting polls it (sampled, every few thousand steps) and aborts
+	// with a RuntimeError whose cause is comperr.ErrCanceled. A nil Ctx
+	// never cancels.
+	Ctx context.Context
 	// Poison fills fresh private copies with a sentinel (NaN for reals,
 	// a large negative value for integers) instead of zero.
 	Poison bool
@@ -63,9 +70,17 @@ type Options struct {
 type RuntimeError struct {
 	Pos lang.Pos
 	Msg string
+	// Cause, when non-nil, classifies the abort for errors.Is: the step
+	// limit carries comperr.ErrResourceLimit, a fired context carries
+	// comperr.ErrCanceled (which in turn wraps the context error).
+	Cause error
 }
 
 func (e *RuntimeError) Error() string { return fmt.Sprintf("%s: runtime error: %s", e.Pos, e.Msg) }
+
+// Unwrap exposes the typed cause, making errors.Is(err, ErrResourceLimit)
+// and errors.Is(err, ErrCanceled) work through a RuntimeError.
+func (e *RuntimeError) Unwrap() error { return e.Cause }
 
 // value is a runtime value.
 type value struct {
@@ -202,6 +217,9 @@ type Interp struct {
 	inParallel bool    // inside a parallel region (nested regions run serially)
 	loopCycles map[*lang.DoStmt]uint64
 	lastIdx    map[*array]int64 // locality model: last accessed flat index
+	// ctxDone caches Options.Ctx.Done() so the hot step path polls a
+	// channel, never re-deriving it; nil when no context was given.
+	ctxDone <-chan struct{}
 	// symCache memoizes name resolution per AST node: a node belongs to
 	// exactly one unit, so its symbol never changes.
 	identSyms map[*lang.Ident]*sem.Symbol
@@ -220,6 +238,9 @@ func New(info *sem.Info, opts Options) *Interp {
 		info: info, opts: opts, mach: opts.Machine,
 		identSyms: map[*lang.Ident]*sem.Symbol{},
 		refSyms:   map[*lang.ArrayRef]*sem.Symbol{},
+	}
+	if opts.Ctx != nil {
+		in.ctxDone = opts.Ctx.Done()
 	}
 	in.globals = newStore(nil)
 	// Pre-allocate globals.
@@ -340,11 +361,29 @@ func (in *Interp) fail(pos lang.Pos, format string, args ...any) {
 	panic(&RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
 }
 
+// ctxPollMask samples the cancellation context once per 4096 steps: cheap
+// enough for the hot path, prompt enough that a fired deadline aborts a
+// simulated run within microseconds of real time.
+const ctxPollMask = 1<<12 - 1
+
 func (in *Interp) charge(c uint64) {
 	*in.cost += c
 	in.steps++
 	if in.steps > in.opts.MaxSteps {
-		in.fail(lang.Pos{}, "step limit exceeded (%d)", in.opts.MaxSteps)
+		panic(&RuntimeError{
+			Msg:   fmt.Sprintf("step limit exceeded (%d)", in.opts.MaxSteps),
+			Cause: comperr.Limitf("simulated execution exceeded %d steps", in.opts.MaxSteps),
+		})
+	}
+	if in.ctxDone != nil && in.steps&ctxPollMask == 0 {
+		select {
+		case <-in.ctxDone:
+			panic(&RuntimeError{
+				Msg:   "execution canceled",
+				Cause: comperr.Canceled(in.opts.Ctx.Err()),
+			})
+		default:
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/cfg"
+	"repro/internal/comperr"
 	"repro/internal/core/property"
 	"repro/internal/dataflow"
 	"repro/internal/deptest"
@@ -119,6 +120,16 @@ func (p *Parallelizer) SetRecorder(rec *obs.Recorder) {
 	if p.prop != nil {
 		p.prop.Rec = rec
 	}
+}
+
+// SetGuard threads the cooperative cancellation / step-budget guard into
+// the property analysis (query propagation) and the privatization test (the
+// §2 bDFS runs). A nil guard is a disabled guard. Call before Run.
+func (p *Parallelizer) SetGuard(g *comperr.Guard) {
+	if p.prop != nil {
+		p.prop.Guard = g
+	}
+	p.priv.Guard = g
 }
 
 // PropertyStats exposes the property-analysis counters (nil-safe).

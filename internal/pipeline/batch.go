@@ -1,11 +1,13 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
 
+	"repro/internal/comperr"
 	"repro/internal/core/property"
 	"repro/internal/expr"
 	"repro/internal/obs"
@@ -46,6 +48,19 @@ type BatchResult struct {
 // fresh recorder (exposed as its Result.Recorder); events are never written
 // to the shared one, whose stream would otherwise depend on scheduling.
 func CompileBatch(inputs []BatchInput, mode parallel.Mode, org Organization, opts Options) *BatchResult {
+	return CompileBatchContext(context.Background(), inputs, mode, org, opts)
+}
+
+// CompileBatchContext is CompileBatch under a context. Each item compiles
+// through CompileContext, so in-flight compilations abort at their
+// cancellation checkpoints; items not yet started when ctx fires are marked
+// with the typed cancellation error without compiling. A panic inside one
+// item's compilation is isolated to that item (reported as its error), so a
+// pathological input cannot take down the other items or a serving process.
+func CompileBatchContext(ctx context.Context, inputs []BatchInput, mode parallel.Mode, org Organization, opts Options) *BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	br := &BatchResult{Items: make([]BatchItem, len(inputs))}
 	jobs := opts.Jobs
 	if jobs < 1 {
@@ -57,13 +72,24 @@ func CompileBatch(inputs []BatchInput, mode parallel.Mode, org Organization, opt
 	telemetry := opts.Recorder.Enabled()
 	compileOne := func(i int) {
 		in := inputs[i]
+		if err := ctx.Err(); err != nil {
+			br.Items[i] = BatchItem{Name: in.Name, Err: fmt.Errorf("%s: %w", in.Name, comperr.Canceled(err))}
+			return
+		}
 		itemOpts := opts
 		if telemetry {
 			itemOpts.Recorder = obs.New()
 		} else {
 			itemOpts.Recorder = nil
 		}
-		res, err := CompileOpts(in.Src, mode, org, itemOpts)
+		res, err := func() (res *Result, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					res, err = nil, comperr.Analysisf("internal error: panic during compilation: %v", r)
+				}
+			}()
+			return CompileContext(ctx, in.Src, mode, org, itemOpts)
+		}()
 		if err != nil {
 			err = fmt.Errorf("%s: %w", in.Name, err)
 		}

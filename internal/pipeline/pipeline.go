@@ -12,12 +12,14 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/cfg"
+	"repro/internal/comperr"
 	"repro/internal/core/property"
 	"repro/internal/dataflow"
 	"repro/internal/deptest"
@@ -125,6 +127,21 @@ type Options struct {
 	// interning changes performance, never output: results are byte-identical
 	// either way).
 	NoExprIntern bool
+	// Limits bounds the resources one compilation may consume; the zero
+	// value is unlimited. Violations surface as comperr.ErrResourceLimit.
+	Limits Limits
+}
+
+// Limits bounds one compilation. Zero fields are unlimited; exceeding a
+// bound aborts the compilation with a comperr.ErrResourceLimit-classified
+// error instead of running unbounded.
+type Limits struct {
+	// MaxQuerySteps caps the total number of query-propagation node visits
+	// of the property analysis across the whole compilation — the work
+	// metric of Table 2 (Stats.NodesVisited).
+	MaxQuerySteps int
+	// MaxSourceBytes rejects larger source texts before parsing.
+	MaxSourceBytes int
 }
 
 // Compile runs the full pipeline on source text.
@@ -134,13 +151,48 @@ func Compile(src string, mode parallel.Mode, org Organization) (*Result, error) 
 
 // CompileOpts is Compile with optional features.
 func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), src, mode, org, opts)
+}
+
+// CompileContext is CompileOpts under a context: the pipeline polls ctx at
+// every phase boundary, inside the query-propagation loop of the property
+// analysis, inside the §2 bounded depth-first searches and in the HCG
+// worker pool, so a fired deadline or a client disconnect aborts
+// mid-analysis. The returned error is typed (comperr): parse failures wrap
+// comperr.ErrParse, semantic/pass failures comperr.ErrAnalysis, exceeded
+// Limits comperr.ErrResourceLimit, and cancellation comperr.ErrCanceled
+// (which also wraps the context error). The checkpoints only read, so an
+// uncancelled compilation is byte-identical to one without a context.
+func CompileContext(ctx context.Context, src string, mode parallel.Mode, org Organization, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Limits.MaxSourceBytes > 0 && len(src) > opts.Limits.MaxSourceBytes {
+		return nil, comperr.Limitf("source is %d bytes (limit %d)", len(src), opts.Limits.MaxSourceBytes)
+	}
+	guard := comperr.NewGuard(ctx, opts.Limits.MaxQuerySteps)
+	res, err := compile(ctx, guard, src, mode, org, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// compile is the pipeline body. Fired checkpoints unwind it with a
+// comperr.Abort panic; the deferred RecoverAbort converts that into the
+// typed error — the single place cancellation and resource-limit aborts
+// rejoin the ordinary error path.
+func compile(ctx context.Context, guard *comperr.Guard, src string, mode parallel.Mode, org Organization, opts Options) (_ *Result, err error) {
+	defer comperr.RecoverAbort(&err)
 	start := time.Now()
 	rec := opts.Recorder
 	res := &Result{LoC: countLoC(src), Recorder: rec}
 
 	// phase times a pipeline phase into the Result breakdown and, with
-	// telemetry on, opens a matching span.
+	// telemetry on, opens a matching span. Opening a phase is also a
+	// cancellation barrier: a fired deadline never starts the next phase.
 	phase := func(name string) func() {
+		guard.Barrier()
 		sp := rec.StartSpan("phase", obs.F("name", name))
 		t0 := time.Now()
 		return func() {
@@ -153,13 +205,13 @@ func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options)
 	prog, err := lang.Parse(src)
 	end()
 	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
+		return nil, comperr.Wrap(comperr.ErrParse, fmt.Errorf("parse: %w", err))
 	}
 	end = phase("sem")
 	info, err := sem.Check(prog)
 	if err != nil {
 		end()
-		return nil, fmt.Errorf("semantic analysis: %w", err)
+		return nil, comperr.Wrap(comperr.ErrAnalysis, fmt.Errorf("semantic analysis: %w", err))
 	}
 	mod := dataflow.ComputeMod(info)
 	end()
@@ -167,7 +219,7 @@ func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options)
 	recheck := func() error {
 		info, err = sem.Check(prog)
 		if err != nil {
-			return fmt.Errorf("internal: pass broke the program: %w", err)
+			return comperr.Wrap(comperr.ErrAnalysis, fmt.Errorf("internal: pass broke the program: %w", err))
 		}
 		mod = dataflow.ComputeMod(info)
 		return nil
@@ -218,13 +270,18 @@ func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options)
 		end = phase("interchange")
 		var prop *property.Analysis
 		if mode == parallel.Full {
-			ichp := cfg.BuildHCGJobs(prog, opts.Jobs)
+			ichp, err := cfg.BuildHCGCtx(ctx, prog, opts.Jobs)
+			if err != nil {
+				end()
+				return nil, err
+			}
 			if opts.NoExprIntern {
 				ichp.In = nil
 			}
 			prop = property.New(info, ichp, mod)
 			prop.Rec = rec
 			prop.NoCache = opts.NoPropertyCache
+			prop.Guard = guard
 		}
 		dep := deptest.New(info, mod, prop)
 		dep.Rec = rec
@@ -252,7 +309,11 @@ func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options)
 	end = phase("hcg")
 	var hp *cfg.HProgram
 	if mode == parallel.Full {
-		hp = cfg.BuildHCGJobs(prog, opts.Jobs)
+		hp, err = cfg.BuildHCGCtx(ctx, prog, opts.Jobs)
+		if err != nil {
+			end()
+			return nil, err
+		}
 		if opts.NoExprIntern {
 			hp.In = nil
 		}
@@ -264,6 +325,7 @@ func CompileOpts(src string, mode parallel.Mode, org Organization, opts Options)
 	end = phase("parallelize")
 	pz := parallel.NewWithHCG(info, mod, mode, hp)
 	pz.SetRecorder(rec)
+	pz.SetGuard(guard)
 	if pz.Property() != nil {
 		pz.Property().NoCache = opts.NoPropertyCache
 		if org == Original {

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/cfg"
+	"repro/internal/comperr"
 	"repro/internal/core/property"
 	"repro/internal/core/singleindex"
 	"repro/internal/dataflow"
@@ -67,6 +68,9 @@ type Analyzer struct {
 	// and stack), leaving only the traditional affine test — the paper's
 	// "without irregular access analysis" configuration.
 	DisableSingleIndex bool
+	// Guard is the cooperative cancellation checkpoint threaded into the
+	// §2 bounded depth-first searches; nil is a disabled guard.
+	Guard *comperr.Guard
 
 	flat map[*lang.Unit]*cfg.Graph
 }
@@ -108,6 +112,7 @@ func (a *Analyzer) AnalyzeLoop(u *lang.Unit, loop *lang.DoStmt) map[string]*Resu
 	g := a.graph(u)
 	if l := g.LoopFor(loop); l != nil && !a.DisableSingleIndex {
 		for _, acc := range singleindex.Find(g, l, a.Info, a.Mod) {
+			acc.Check = a.Guard.CheckFn()
 			if st := singleindex.CheckStack(acc); st != nil && st.ResetFirst {
 				if r := results[acc.Array]; r != nil {
 					r.Private = true
@@ -692,6 +697,7 @@ func (w *walker) singleIndexedLoop(loopStmt lang.Stmt, env expr.Env) *siResult {
 		return res
 	}
 	for _, acc := range singleindex.Find(g, l, w.a.Info, w.a.Mod) {
+		acc.Check = w.a.Guard.CheckFn()
 		cw := singleindex.CheckConsecutivelyWritten(acc)
 		if cw == nil || !cw.Increasing {
 			continue

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// weighted is a FIFO weighted semaphore: the admission-control primitive of
+// the server (a stdlib-only stand-in for x/sync/semaphore). Waiters queue
+// in arrival order and are woken strictly FIFO, so a heavy request (a batch,
+// a large program) behind many light ones is never starved; a request whose
+// context fires while queued leaves the queue without acquiring.
+type weighted struct {
+	size int64
+	mu   sync.Mutex
+	cur  int64
+	wait list.List // of *waiter
+}
+
+type waiter struct {
+	n     int64
+	ready chan struct{} // closed when the weight has been granted
+}
+
+// newWeighted builds a semaphore admitting at most size units at once.
+func newWeighted(size int64) *weighted {
+	return &weighted{size: size}
+}
+
+// Acquire blocks until n units are available or ctx fires. Requests heavier
+// than the whole semaphore are clamped to its size, so they admit alone
+// instead of deadlocking.
+func (s *weighted) Acquire(ctx context.Context, n int64) error {
+	if n > s.size {
+		n = s.size
+	}
+	s.mu.Lock()
+	if s.cur+n <= s.size && s.wait.Len() == 0 {
+		s.cur += n
+		s.mu.Unlock()
+		return nil
+	}
+	w := &waiter{n: n, ready: make(chan struct{})}
+	elem := s.wait.PushBack(w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted between ctx firing and taking the lock: keep the
+			// units consistent by giving them straight back.
+			s.cur -= w.n
+			s.notify()
+		default:
+			s.wait.Remove(elem)
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes n units without waiting; it reports false when they are
+// not immediately available (or when waiters are queued — FIFO order wins
+// over opportunism).
+func (s *weighted) TryAcquire(n int64) bool {
+	if n > s.size {
+		n = s.size
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur+n <= s.size && s.wait.Len() == 0 {
+		s.cur += n
+		return true
+	}
+	return false
+}
+
+// Release returns n units and wakes the longest-waiting requests that now
+// fit. It applies the same clamp as Acquire, so releasing what was
+// acquired is always balanced.
+func (s *weighted) Release(n int64) {
+	if n > s.size {
+		n = s.size
+	}
+	s.mu.Lock()
+	s.cur -= n
+	if s.cur < 0 {
+		s.mu.Unlock()
+		panic("server: semaphore released more than held")
+	}
+	s.notify()
+	s.mu.Unlock()
+}
+
+// notify grants queued waiters in FIFO order while they fit; callers hold
+// s.mu. The scan stops at the first waiter that does not fit, preserving
+// arrival order.
+func (s *weighted) notify() {
+	for {
+		front := s.wait.Front()
+		if front == nil {
+			return
+		}
+		w := front.Value.(*waiter)
+		if s.cur+w.n > s.size {
+			return
+		}
+		s.cur += w.n
+		s.wait.Remove(front)
+		close(w.ready)
+	}
+}

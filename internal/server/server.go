@@ -1,0 +1,487 @@
+// Package server implements irrd, the long-running compilation service: an
+// HTTP/JSON front end over the public irregular API with the robustness
+// layer a shared service needs — cooperative cancellation (every request
+// compiles under its own deadline-carrying context), admission control (a
+// weighted FIFO semaphore bounds concurrent compilations; per-request
+// limits bound source bytes, query-propagation steps and simulated-machine
+// steps), and isolation (a panic inside one request's compilation becomes
+// that request's 500 without taking down the server).
+//
+// Endpoints:
+//
+//	POST /v1/compile  compile a program; the response embeds the
+//	                  irr-metrics/1 document of the compilation
+//	POST /v1/run      compile and execute on the simulated machine
+//	GET  /v1/kernels  list the bundled benchmark kernels
+//	GET  /healthz     liveness: "ok" plus in-flight count
+//	GET  /metrics     the server's own counters (requests, errors by kind,
+//	                  rejections, panics), fed by an obs.Recorder
+//
+// Failures use one envelope, {"error":{"kind":..., "message":...}}, with
+// the kind drawn from the comperr taxonomy and a distinct HTTP status per
+// kind: parse 400, analysis 422, resource limit 413, over capacity 429,
+// canceled/deadline 504, internal (including recovered panics) 500.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	irregular "repro"
+	"repro/internal/comperr"
+	"repro/internal/obs"
+)
+
+// Config bounds the service; the zero value gets sensible defaults.
+type Config struct {
+	// MaxConcurrent caps the total admission weight of in-flight
+	// compilations (default GOMAXPROCS). A compile weighs 1; a run weighs
+	// 2 (compile + simulated execution).
+	MaxConcurrent int
+	// MaxSourceBytes rejects larger programs with 413 (default 1 MiB).
+	// It also bounds the accepted request body.
+	MaxSourceBytes int
+	// MaxQuerySteps bounds property-query propagation per compilation
+	// (default 50M; <0 disables the bound).
+	MaxQuerySteps int
+	// MaxRunSteps caps the simulated-machine steps of /v1/run; client
+	// requests are clamped to it (default 2G, the interpreter's own cap).
+	MaxRunSteps uint64
+	// RequestTimeout is the per-request compile/run deadline
+	// (default 60s; <0 disables it).
+	RequestTimeout time.Duration
+	// AdmitTimeout is how long a request may queue for admission before
+	// 429 (default 10s; <0 rejects immediately when at capacity).
+	AdmitTimeout time.Duration
+	// MaxOutputBytes truncates a run's PRINT output in the response
+	// (default 64 KiB).
+	MaxOutputBytes int
+}
+
+// withDefaults resolves the zero value to the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSourceBytes == 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.MaxQuerySteps == 0 {
+		c.MaxQuerySteps = 50_000_000
+	} else if c.MaxQuerySteps < 0 {
+		c.MaxQuerySteps = 0
+	}
+	if c.MaxRunSteps == 0 {
+		c.MaxRunSteps = 2_000_000_000
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	} else if c.RequestTimeout < 0 {
+		c.RequestTimeout = 0
+	}
+	if c.AdmitTimeout == 0 {
+		c.AdmitTimeout = 10 * time.Second
+	} else if c.AdmitTimeout < 0 {
+		c.AdmitTimeout = 0
+	}
+	if c.MaxOutputBytes <= 0 {
+		c.MaxOutputBytes = 64 << 10
+	}
+	return c
+}
+
+// Server is the irrd service. Construct with New; it is an http.Handler.
+type Server struct {
+	cfg Config
+	sem *weighted
+	rec *obs.Recorder // the /metrics counters; mutex-protected, shared across requests
+	mux *http.ServeMux
+
+	// compile is the compilation entry point, a field so tests can inject
+	// failure modes (panics, hangs) without crafting pathological source.
+	compile func(ctx context.Context, src string, opts irregular.Options) (*irregular.Result, error)
+}
+
+// New builds the service with cfg resolved to its defaults.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		rec:     obs.New(),
+		mux:     http.NewServeMux(),
+		compile: irregular.CompileContext,
+	}
+	s.sem = newWeighted(int64(s.cfg.MaxConcurrent))
+	s.mux.HandleFunc("POST /v1/compile", s.guard(s.handleCompile))
+	s.mux.HandleFunc("POST /v1/run", s.guard(s.handleRun))
+	s.mux.HandleFunc("GET /v1/kernels", s.guard(s.handleKernels))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errCapacity marks an admission-control rejection; it is
+// ErrResourceLimit-classified but maps to 429, not 413.
+var errCapacity = errors.New("server at capacity")
+
+// guard wraps a handler with the isolation layer: panics inside the
+// request (including inside compilation worker pools, which re-panic on
+// the dispatching goroutine) are recovered into a 500 envelope, counted,
+// and the server keeps serving.
+func (s *Server) guard(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.rec.Count("irrd_requests_total", 1)
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.rec.Count("irrd_panics_total", 1)
+				s.rec.Count("irrd_errors_total:internal", 1)
+				writeError(w, http.StatusInternalServerError, "internal",
+					fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// admit takes weight units of the concurrency semaphore, waiting at most
+// AdmitTimeout; the returned release function must be called exactly once.
+func (s *Server) admit(ctx context.Context, weight int64) (release func(), err error) {
+	if s.cfg.AdmitTimeout <= 0 {
+		if !s.sem.TryAcquire(weight) {
+			return nil, errCapacity
+		}
+	} else {
+		actx, cancel := context.WithTimeout(ctx, s.cfg.AdmitTimeout)
+		defer cancel()
+		if err := s.sem.Acquire(actx, weight); err != nil {
+			// The admission deadline firing means capacity, not a client
+			// cancellation — unless the request context itself is done.
+			if ctx.Err() != nil {
+				return nil, comperr.Canceled(ctx.Err())
+			}
+			return nil, errCapacity
+		}
+	}
+	s.rec.Count("irrd_inflight", 1)
+	return func() {
+		s.rec.Count("irrd_inflight", -1)
+		s.sem.Release(weight)
+	}, nil
+}
+
+// requestContext derives the per-request compile context: the client
+// disconnect already cancels r.Context(); RequestTimeout adds the deadline.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// compileRequest is the body of POST /v1/compile (and the compilation half
+// of POST /v1/run). Exactly one of Src and Kernel must be set.
+type compileRequest struct {
+	// Src is F-lite source text.
+	Src string `json:"src,omitempty"`
+	// Kernel names a bundled benchmark to compile instead of Src.
+	Kernel string `json:"kernel,omitempty"`
+	// Mode is "full" (default), "noiaa" or "baseline".
+	Mode string `json:"mode,omitempty"`
+	// Intraprocedural restricts the property analysis to single units.
+	Intraprocedural bool `json:"intraprocedural,omitempty"`
+	// Interchange enables the loop-interchange companion pass.
+	Interchange bool `json:"interchange,omitempty"`
+	// Explain adds the per-loop decision log to the response.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// compileResponse answers POST /v1/compile. Metrics is the irr-metrics/1
+// document — the same schema irrc -metrics writes.
+type compileResponse struct {
+	Summary string          `json:"summary"`
+	Metrics json.RawMessage `json:"metrics"`
+	Explain string          `json:"explain,omitempty"`
+}
+
+// runRequest is the body of POST /v1/run.
+type runRequest struct {
+	compileRequest
+	// Processors is the virtual processor count (default 1).
+	Processors int `json:"processors,omitempty"`
+	// Profile is "origin2000" (default) or "challenge".
+	Profile string `json:"profile,omitempty"`
+	// MaxSteps bounds the simulated execution; it is clamped to the
+	// server's MaxRunSteps.
+	MaxSteps uint64 `json:"max_steps,omitempty"`
+	// BoundsCheckElim applies bounds-check elimination before running.
+	BoundsCheckElim bool `json:"bounds_check_elim,omitempty"`
+}
+
+// runResponse answers POST /v1/run.
+type runResponse struct {
+	Time            uint64 `json:"time"`
+	ParallelRegions int    `json:"parallel_regions"`
+	Output          string `json:"output,omitempty"`
+	OutputTruncated bool   `json:"output_truncated,omitempty"`
+	Summary         string `json:"summary"`
+}
+
+// decodeCompileRequest reads and validates the request body; the source
+// size limit applies to the body as a whole and to the resolved source.
+func (s *Server) decodeCompileRequest(w http.ResponseWriter, r *http.Request, into any, req *compileRequest) error {
+	r.Body = http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes)+4096)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return comperr.Limitf("request body exceeds %d bytes", s.cfg.MaxSourceBytes)
+		}
+		return comperr.Parsef("invalid request body: %v", err)
+	}
+	switch {
+	case req.Src != "" && req.Kernel != "":
+		return comperr.Parsef(`"src" and "kernel" are mutually exclusive`)
+	case req.Src == "" && req.Kernel == "":
+		return comperr.Parsef(`one of "src" or "kernel" is required`)
+	case req.Kernel != "":
+		src, err := irregular.KernelSource(req.Kernel)
+		if err != nil {
+			return comperr.Parsef("unknown kernel %q", req.Kernel)
+		}
+		req.Src = src
+	}
+	return nil
+}
+
+// options maps the request to public compile options under the server's
+// limits. Telemetry is always on: the response's irr-metrics/1 document
+// and the decision log need the recorder.
+func (s *Server) options(req *compileRequest) (irregular.Options, error) {
+	opts := irregular.Options{
+		Intraprocedural: req.Intraprocedural,
+		Interchange:     req.Interchange,
+		Telemetry:       true,
+		Limits: irregular.Limits{
+			MaxQuerySteps:  s.cfg.MaxQuerySteps,
+			MaxSourceBytes: s.cfg.MaxSourceBytes,
+		},
+	}
+	switch strings.ToLower(req.Mode) {
+	case "", "full":
+		opts.Mode = irregular.Full
+	case "noiaa":
+		opts.Mode = irregular.NoIAA
+	case "baseline":
+		opts.Mode = irregular.Baseline
+	default:
+		return opts, comperr.Parsef("unknown mode %q", req.Mode)
+	}
+	return opts, nil
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.rec.Count("irrd_compile_total", 1)
+	var req compileRequest
+	if err := s.decodeCompileRequest(w, r, &req, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	opts, err := s.options(&req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	release, err := s.admit(ctx, 1)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer release()
+
+	res, err := s.compile(ctx, req.Src, opts)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	metrics, err := res.SummaryJSON()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	resp := compileResponse{Summary: res.Summary(), Metrics: metrics}
+	if req.Explain {
+		resp.Explain = res.Explain()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.rec.Count("irrd_run_total", 1)
+	var req runRequest
+	if err := s.decodeCompileRequest(w, r, &req, &req.compileRequest); err != nil {
+		s.fail(w, err)
+		return
+	}
+	opts, err := s.options(&req.compileRequest)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if req.Profile != "" && req.Profile != string(irregular.Origin2000) && req.Profile != string(irregular.Challenge) {
+		s.fail(w, comperr.Parsef("unknown machine profile %q", req.Profile))
+		return
+	}
+	maxSteps := req.MaxSteps
+	if maxSteps == 0 || maxSteps > s.cfg.MaxRunSteps {
+		maxSteps = s.cfg.MaxRunSteps
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	release, err := s.admit(ctx, 2)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer release()
+
+	res, err := s.compile(ctx, req.Src, opts)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var out limitedBuffer
+	out.max = s.cfg.MaxOutputBytes
+	rr, err := res.RunContext(ctx, irregular.RunOptions{
+		Processors:            req.Processors,
+		Profile:               irregular.MachineProfile(req.Profile),
+		Out:                   &out,
+		MaxSteps:              maxSteps,
+		EliminateBoundsChecks: req.BoundsCheckElim,
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{
+		Time:            rr.Time,
+		ParallelRegions: rr.ParallelRegions,
+		Output:          out.String(),
+		OutputTruncated: out.truncated,
+		Summary:         res.Summary(),
+	})
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, _ *http.Request) {
+	type kernel struct {
+		Name  string `json:"name"`
+		Bytes int    `json:"bytes"`
+	}
+	var out struct {
+		Kernels []kernel `json:"kernels"`
+	}
+	for _, name := range irregular.Kernels() {
+		src, err := irregular.KernelSource(name)
+		if err != nil {
+			continue
+		}
+		out.Kernels = append(out.Kernels, kernel{Name: name, Bytes: len(src)})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"inflight": s.rec.Counter("irrd_inflight"),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schema":   "irrd-metrics/1",
+		"counters": s.rec.Counters(),
+	})
+}
+
+// fail writes the error envelope and counts the failure by kind.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	status, kind := statusOf(err)
+	s.rec.Count("irrd_errors_total:"+kind, 1)
+	if errors.Is(err, errCapacity) {
+		s.rec.Count("irrd_rejected_capacity_total", 1)
+	}
+	writeError(w, status, kind, err.Error())
+}
+
+// statusOf maps the error taxonomy to HTTP: parse 400, analysis 422,
+// resource limit 413 (429 for admission rejections), canceled 504,
+// everything else 500.
+func statusOf(err error) (int, string) {
+	if errors.Is(err, errCapacity) {
+		return http.StatusTooManyRequests, "over_capacity"
+	}
+	kind := comperr.KindString(err)
+	switch comperr.KindOf(err) {
+	case comperr.ErrParse:
+		return http.StatusBadRequest, kind
+	case comperr.ErrAnalysis:
+		return http.StatusUnprocessableEntity, kind
+	case comperr.ErrResourceLimit:
+		return http.StatusRequestEntityTooLarge, kind
+	case comperr.ErrCanceled:
+		return http.StatusGatewayTimeout, kind
+	}
+	return http.StatusInternalServerError, kind
+}
+
+type errorBody struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, kind, msg string) {
+	writeJSON(w, status, map[string]errorBody{"error": {Kind: kind, Message: msg}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+// limitedBuffer keeps the first max bytes and drops (but notes) the rest —
+// a simulated program's PRINT output must not grow the response unbounded.
+type limitedBuffer struct {
+	buf       []byte
+	max       int
+	truncated bool
+}
+
+func (b *limitedBuffer) Write(p []byte) (int, error) {
+	if room := b.max - len(b.buf); room > 0 {
+		if len(p) > room {
+			b.buf = append(b.buf, p[:room]...)
+			b.truncated = true
+		} else {
+			b.buf = append(b.buf, p...)
+		}
+	} else if len(p) > 0 {
+		b.truncated = true
+	}
+	return len(p), nil
+}
+
+func (b *limitedBuffer) String() string { return string(b.buf) }

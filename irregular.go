@@ -30,11 +30,13 @@
 package irregular
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/boundscheck"
 	"repro/internal/cfg"
+	"repro/internal/comperr"
 	"repro/internal/core/property"
 	"repro/internal/interp"
 	"repro/internal/kernels"
@@ -44,6 +46,32 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/pipeline"
 )
+
+// The typed error taxonomy of the public API. Every error returned by
+// CompileContext, CompileBatchContext and RunContext (and their
+// background-context wrappers) wraps exactly one of these sentinels;
+// classify with errors.Is, never by message string. ErrCanceled errors
+// additionally wrap the context error, so errors.Is against
+// context.Canceled / context.DeadlineExceeded also holds.
+var (
+	// ErrParse marks source text the parser rejected.
+	ErrParse = comperr.ErrParse
+	// ErrAnalysis marks failures of semantic analysis or the
+	// transformation passes.
+	ErrAnalysis = comperr.ErrAnalysis
+	// ErrResourceLimit marks a compilation or execution that exceeded a
+	// configured bound (Options.Limits, RunOptions.MaxSteps) instead of
+	// running unbounded.
+	ErrResourceLimit = comperr.ErrResourceLimit
+	// ErrCanceled marks a compilation or execution aborted by context
+	// cancellation or deadline expiry.
+	ErrCanceled = comperr.ErrCanceled
+)
+
+// Limits bounds the resources one compilation may consume; the zero value
+// is unlimited. Both the library entry points and the irrd server honor the
+// same limits.
+type Limits = pipeline.Limits
 
 // Mode selects the compiler configuration of the paper's evaluation.
 type Mode = parallel.Mode
@@ -82,6 +110,33 @@ type Options struct {
 	// NoExprIntern disables symbolic-expression hash-consing (output is
 	// byte-identical either way; used to measure the interner).
 	NoExprIntern bool
+	// Limits bounds the compilation (source bytes, query-propagation
+	// steps); the zero value is unlimited. Violations return
+	// ErrResourceLimit-classified errors.
+	Limits Limits
+}
+
+// pipelineConfig is the single conversion point from the public Options to
+// the pipeline's option struct and phase organization — every entry point
+// (Compile, CompileBatch and their context variants, and through them the
+// irrd server) builds its pipeline options here.
+func (o Options) pipelineConfig() (pipeline.Options, pipeline.Organization) {
+	org := pipeline.Reorganized
+	if o.Intraprocedural {
+		org = pipeline.Original
+	}
+	var rec *obs.Recorder
+	if o.Telemetry {
+		rec = obs.New()
+	}
+	return pipeline.Options{
+		Interchange:     o.Interchange,
+		Recorder:        rec,
+		Jobs:            o.Jobs,
+		NoPropertyCache: o.NoPropertyCache,
+		NoExprIntern:    o.NoExprIntern,
+		Limits:          o.Limits,
+	}, org
 }
 
 // Result is a finished compilation.
@@ -102,22 +157,22 @@ func (r *Result) BoundsChecks() *boundscheck.Result {
 }
 
 // Compile parses, transforms, analyzes and parallelizes an F-lite program.
+// It is CompileContext with a background context: no deadline, no
+// cancellation, no limits beyond opts.Limits.
 func Compile(src string, opts Options) (*Result, error) {
-	org := pipeline.Reorganized
-	if opts.Intraprocedural {
-		org = pipeline.Original
-	}
-	var rec *obs.Recorder
-	if opts.Telemetry {
-		rec = obs.New()
-	}
-	res, err := pipeline.CompileOpts(src, opts.Mode, org, pipeline.Options{
-		Interchange:     opts.Interchange,
-		Recorder:        rec,
-		Jobs:            opts.Jobs,
-		NoPropertyCache: opts.NoPropertyCache,
-		NoExprIntern:    opts.NoExprIntern,
-	})
+	return CompileContext(context.Background(), src, opts)
+}
+
+// CompileContext is Compile under a context: the pipeline polls ctx at
+// phase boundaries, inside the query-propagation loop of the property
+// analysis and inside the §2 bounded depth-first searches, so a fired
+// deadline or a canceled context aborts mid-analysis with an
+// ErrCanceled-classified error (also matching the context error under
+// errors.Is). The checkpoints only read, so an uncancelled compilation
+// produces output byte-identical to Compile's.
+func CompileContext(ctx context.Context, src string, opts Options) (*Result, error) {
+	popts, org := opts.pipelineConfig()
+	res, err := pipeline.CompileContext(ctx, src, opts.Mode, org, popts)
 	if err != nil {
 		return nil, err
 	}
@@ -135,21 +190,15 @@ type BatchResult = pipeline.BatchResult
 // compilation; per-input results, summaries and aggregated counters are
 // deterministic — identical for any job count.
 func CompileBatch(inputs []BatchInput, opts Options) *BatchResult {
-	org := pipeline.Reorganized
-	if opts.Intraprocedural {
-		org = pipeline.Original
-	}
-	var rec *obs.Recorder
-	if opts.Telemetry {
-		rec = obs.New()
-	}
-	return pipeline.CompileBatch(inputs, opts.Mode, org, pipeline.Options{
-		Interchange:     opts.Interchange,
-		Recorder:        rec,
-		Jobs:            opts.Jobs,
-		NoPropertyCache: opts.NoPropertyCache,
-		NoExprIntern:    opts.NoExprIntern,
-	})
+	return CompileBatchContext(context.Background(), inputs, opts)
+}
+
+// CompileBatchContext is CompileBatch under a context: in-flight items
+// abort at their cancellation checkpoints; items not yet started when ctx
+// fires are marked with ErrCanceled-classified errors without compiling.
+func CompileBatchContext(ctx context.Context, inputs []BatchInput, opts Options) *BatchResult {
+	popts, org := opts.pipelineConfig()
+	return pipeline.CompileBatchContext(ctx, inputs, opts.Mode, org, popts)
 }
 
 // MachineProfile selects a simulated machine.
@@ -207,8 +256,17 @@ func (r *RunResult) Global(name string) (float64, error) {
 }
 
 // Run executes the compiled (and annotated) program on the simulated
-// machine.
+// machine. It is RunContext with a background context.
 func (r *Result) Run(opts RunOptions) (*RunResult, error) {
+	return r.RunContext(context.Background(), opts)
+}
+
+// RunContext is Run under a context: the interpreter polls ctx
+// periodically (every few thousand simulated steps), so a fired deadline
+// or canceled context aborts the execution with an ErrCanceled-classified
+// error. Exceeding opts.MaxSteps returns an ErrResourceLimit-classified
+// error; both classify with errors.Is.
+func (r *Result) RunContext(ctx context.Context, opts RunOptions) (*RunResult, error) {
 	prof, err := opts.Profile.profile()
 	if err != nil {
 		return nil, err
@@ -227,6 +285,7 @@ func (r *Result) Run(opts RunOptions) (*RunResult, error) {
 		Out:      opts.Out,
 		MaxSteps: opts.MaxSteps,
 		SafeRefs: safe,
+		Ctx:      ctx,
 	})
 	if err := in.Run(); err != nil {
 		return nil, err
