@@ -65,6 +65,7 @@ func main() {
 	jobs := flag.Int("jobs", 0, "worker pool size for batch compilation (0: GOMAXPROCS)")
 	bounds := flag.Bool("bounds", false, "report bounds-check elimination and apply it when running")
 	interchange := flag.Bool("interchange", false, "enable the loop-interchange companion pass")
+	lintFlag := flag.Bool("lint", false, "run the diagnostics phase and print the findings")
 	explain := flag.Bool("explain", false, "print the per-loop decision log (query traces for failed properties)")
 	metrics := flag.String("metrics", "", "write the metrics JSON document to this path (\"-\" for stdout)")
 	noIntern := flag.Bool("no-expr-intern", false, "disable expression hash-consing (output is identical; for measurement)")
@@ -144,6 +145,7 @@ func main() {
 		Jobs:            *jobs,
 		NoExprIntern:    *noIntern,
 		Limits:          irregular.Limits{MaxQuerySteps: *maxQuerySteps},
+		Lint:            *lintFlag,
 	}
 
 	if len(inputs) > 1 {
@@ -163,6 +165,13 @@ func main() {
 		fmt.Printf("loop nests interchanged: %d\n", res.Interchanged)
 	}
 
+	if *lintFlag {
+		if len(res.Diags) == 0 {
+			fmt.Println("lint: no findings")
+		} else {
+			fmt.Print(irregular.RenderDiags(res.Diags))
+		}
+	}
 	if *explain {
 		fmt.Println()
 		fmt.Print(res.Explain())

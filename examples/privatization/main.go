@@ -40,7 +40,7 @@ program fig1a
   do k = 1, n
     p = 0
     i = link(1, k)
-    do while (i != 0)
+    do while (i != 0 and p < n)
       p = p + 1
       x(p) = y(i)
       i = link(i, k)

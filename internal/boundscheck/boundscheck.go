@@ -85,6 +85,21 @@ func (a *Analyzer) Analyze() *Result {
 }
 
 func (a *Analyzer) unit(u *lang.Unit, res *Result) {
+	a.walkRefs(u, func(s lang.Stmt, ref *lang.ArrayRef, env expr.Env) {
+		res.Total++
+		if a.refSafe(u, s, ref, env) {
+			res.Safe[ref] = true
+			res.Proven++
+			res.PerArray[ref.Name]++
+		}
+	})
+}
+
+// walkRefs visits every non-intrinsic array reference of u together with
+// the symbolic range environment of its enclosing DO loops — the shared
+// traversal of the safety proof (Analyze) and the violation proof
+// (Violations).
+func (a *Analyzer) walkRefs(u *lang.Unit, visit func(s lang.Stmt, ref *lang.ArrayRef, env expr.Env)) {
 	var walk func(stmts []lang.Stmt, env expr.Env)
 	inspect := func(s lang.Stmt, env expr.Env) {
 		lang.StmtExprs(s, func(e lang.Expr) {
@@ -93,12 +108,7 @@ func (a *Analyzer) unit(u *lang.Unit, res *Result) {
 				if !ok || ref.Intrinsic {
 					return true
 				}
-				res.Total++
-				if a.refSafe(u, s, ref, env) {
-					res.Safe[ref] = true
-					res.Proven++
-					res.PerArray[ref.Name]++
-				}
+				visit(s, ref, env)
 				return true
 			})
 		})
@@ -269,6 +279,68 @@ func (a *Analyzer) indirectBounds(u *lang.Unit, at lang.Stmt, e *expr.Expr, env 
 		return expr.Range{}, false
 	}
 	return expr.Range{Lo: rlo.Lo, Hi: rhi.Hi}, true
+}
+
+// Violation is one subscript proven to lie entirely outside its array's
+// declared bounds: every execution of the reference that reaches it faults.
+// The inversion of refSafe — and sound under the same over-approximated
+// ranges, because a range wholly past a bound certifies that even the
+// tightest actual subscript value is past it.
+type Violation struct {
+	Unit *lang.Unit
+	Stmt lang.Stmt
+	Ref  *lang.ArrayRef
+	// Dim is the offending dimension, 0-based.
+	Dim int
+	// Low reports the direction: true when the subscript is provably below
+	// the lower bound, false when provably above the upper bound.
+	Low bool
+	// Sub is the resolved symbolic subscript range; Bound is the violated
+	// declared bound.
+	Sub   expr.Range
+	Bound int64
+}
+
+// Violations proves subscripts out of bounds: a reference is reported when
+// some dimension's symbolic range lies provably and entirely outside the
+// declared bounds. References that merely fail the safety proof are not
+// violations — only a definite fault qualifies.
+func (a *Analyzer) Violations() []Violation {
+	var out []Violation
+	for _, u := range a.Info.Program.Units() {
+		u := u
+		a.walkRefs(u, func(s lang.Stmt, ref *lang.ArrayRef, env expr.Env) {
+			out = append(out, a.refViolations(u, s, ref, env)...)
+		})
+	}
+	return out
+}
+
+func (a *Analyzer) refViolations(u *lang.Unit, at lang.Stmt, ref *lang.ArrayRef, env expr.Env) []Violation {
+	sym := a.Info.LookupIn(u, ref.Name)
+	if sym == nil || sym.Kind != sem.ArraySym || len(sym.Dims) != len(ref.Args) {
+		return nil
+	}
+	env = a.resolveEnv(u, env)
+	var out []Violation
+	for d, arg := range ref.Args {
+		dim := sym.Dims[d]
+		e := a.resolveParams(u, a.In.FromAST(arg))
+		rng, ok := expr.Bounds(e, env, a.Assume)
+		if !ok {
+			rng, ok = a.indirectBounds(u, at, e, env)
+		}
+		if !ok || rng.Lo == nil || rng.Hi == nil {
+			continue
+		}
+		switch {
+		case expr.ProveLE(rng.Hi, expr.Const(dim.Lo-1), a.Assume):
+			out = append(out, Violation{Unit: u, Stmt: at, Ref: ref, Dim: d, Low: true, Sub: rng, Bound: dim.Lo})
+		case expr.ProveLE(expr.Const(dim.Hi+1), rng.Lo, a.Assume):
+			out = append(out, Violation{Unit: u, Stmt: at, Ref: ref, Dim: d, Low: false, Sub: rng, Bound: dim.Hi})
+		}
+	}
+	return out
 }
 
 func sectionOf(arr string, lo, hi *expr.Expr) *section.Section {

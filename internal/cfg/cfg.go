@@ -67,6 +67,23 @@ type Node struct {
 	Preds []*Node
 }
 
+// Pos returns the source position of the node's program point: the ELSEIF
+// arm's own position for elif-condition nodes (not the enclosing IF's),
+// the statement's position otherwise, and an invalid Pos for entry/exit
+// nodes, which have no source counterpart.
+func (n *Node) Pos() lang.Pos {
+	if n.Stmt == nil {
+		return lang.Pos{}
+	}
+	if n.Kind == NIfCond {
+		ifs := n.Stmt.(*lang.IfStmt)
+		if n.CondIndex >= 0 && n.CondIndex < len(ifs.Elifs) {
+			return ifs.Elifs[n.CondIndex].Pos
+		}
+	}
+	return n.Stmt.Pos()
+}
+
 func (n *Node) String() string {
 	switch n.Kind {
 	case NEntry:

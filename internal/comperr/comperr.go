@@ -135,6 +135,10 @@ const (
 	ExitAnalysis = 4
 	ExitLimit    = 5
 	ExitCanceled = 6
+	// ExitDiagnostics is not an error kind: irrlint exits with it when
+	// diagnostics reach the -fail-on threshold on an otherwise successful
+	// run, so scripts can tell "program has findings" from "tool failed".
+	ExitDiagnostics = 7
 )
 
 // ExitCode maps an error to the CLI exit code of its kind.

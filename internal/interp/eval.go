@@ -36,12 +36,18 @@ func (e *ex) eval(x lang.Expr) value {
 		if sym.Kind == sem.ParamSym {
 			return intV(sym.Value)
 		}
+		if in.obsDepth > 0 {
+			in.obsAccess(sym, -1, false)
+		}
 		return e.store.scalar(sym).v
 	case *lang.ArrayRef:
 		if x.Intrinsic {
 			return e.evalIntrinsic(x)
 		}
 		arr, idx := e.locate(x)
+		if in.obsDepth > 0 {
+			in.obsAccess(arr.sym, idx, false)
+		}
 		in.chargeAccess(x, arr, idx)
 		switch arr.sym.Type {
 		case lang.TInteger:
@@ -361,9 +367,15 @@ func (e *ex) assign(lhs lang.Expr, v value) {
 			}
 			in.identSyms[lhs] = sym
 		}
+		if in.obsDepth > 0 {
+			in.obsAccess(sym, -1, true)
+		}
 		e.store.scalar(sym).v = convert(v, sym.Type)
 	case *lang.ArrayRef:
 		arr, idx := e.locate(lhs)
+		if in.obsDepth > 0 {
+			in.obsAccess(arr.sym, idx, true)
+		}
 		in.chargeAccess(lhs, arr, idx)
 		cv := convert(v, arr.sym.Type)
 		switch arr.sym.Type {

@@ -64,6 +64,10 @@ type Options struct {
 	// demonstrate loop interchange; off by default so the headline
 	// benchmarks use the flat memory model.
 	LocalityModel bool
+	// Observe, when non-nil, reports memory accesses made inside selected
+	// DO loops (see Observer). Observed loops always run serially, so the
+	// footprints reflect the program's sequential semantics.
+	Observe *Observer
 }
 
 // A RuntimeError aborts execution (bad subscript, step limit, ...).
@@ -224,6 +228,9 @@ type Interp struct {
 	// exactly one unit, so its symbol never changes.
 	identSyms map[*lang.Ident]*sem.Symbol
 	refSyms   map[*lang.ArrayRef]*sem.Symbol
+	// obsDepth counts currently-active observed loops; accesses are
+	// reported to Options.Observe only while it is positive.
+	obsDepth int
 }
 
 // New builds an interpreter for a checked program.
@@ -476,6 +483,9 @@ func (e *ex) runStmt(s lang.Stmt) (signal, int) {
 		return sigNone, 0
 
 	case *lang.DoStmt:
+		if in.opts.Observe != nil && in.opts.Observe.Loops[s] {
+			return e.runObservedDo(s)
+		}
 		if in.opts.TrackLoops[s] && !(s.Parallel && in.mach.P > 1) {
 			// Per-loop attribution: measure committed machine time plus
 			// the pending serial sink, which stays monotonic even when
@@ -585,6 +595,12 @@ func (e *ex) runSerialDo(s *lang.DoStmt) (signal, int) {
 	for k := uint64(0); k < n; k++ {
 		in.charge(3)
 		cellV.v = intV(lo + int64(k)*step)
+		if in.obsDepth > 0 {
+			// Nested loop-variable writes are part of the footprint: a
+			// nested loop var the parallelizer failed to privatize is a
+			// real cross-iteration conflict.
+			in.obsAccess(sym, -1, true)
+		}
 		sig, lbl := e.runList(s.Body)
 		if sig == sigJump {
 			return sig, lbl

@@ -142,6 +142,10 @@ type Stmt interface {
 	Label() int
 	// SetLabel attaches a numeric label.
 	SetLabel(int)
+	// SetPos attaches a source position. Passes that synthesize or move
+	// statements use it to keep diagnostics anchored to the source line
+	// the statement derives from.
+	SetPos(Pos)
 }
 
 // stmtBase supplies position and label storage for statements.
@@ -151,6 +155,7 @@ type stmtBase struct {
 }
 
 func (s *stmtBase) Pos() Pos       { return s.pos }
+func (s *stmtBase) SetPos(p Pos)   { s.pos = p }
 func (s *stmtBase) Label() int     { return s.label }
 func (s *stmtBase) SetLabel(l int) { s.label = l }
 func (s *stmtBase) stmtNode()      {}

@@ -175,8 +175,8 @@ func LookupKeyword(ident string) Kind {
 // Pos is a position in the source text. Line and Col are 1-based; a zero Pos
 // means "no position".
 type Pos struct {
-	Line int
-	Col  int
+	Line int `json:"line"`
+	Col  int `json:"col"`
 }
 
 // IsValid reports whether p refers to an actual source location.

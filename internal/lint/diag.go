@@ -1,0 +1,269 @@
+// Package lint is the compiler's diagnostics and audit subsystem: source
+// lints over F-lite programs (definite assignment, unreachable code,
+// degenerate DO loops, provable out-of-bounds subscripts, index-array
+// property violations) and an independent auditor that re-derives every
+// parallelization and privatization verdict through a cheap oracle — an
+// exhaustive check on small instantiated bounds plus an interpreter-based
+// per-iteration footprint replay — reporting IRR9xxx diagnostics when the
+// oracle disagrees. The audit is the repository's standing
+// translation-validation harness: any analysis change that starts marking
+// unsound loops parallel trips it.
+//
+// Diagnostics carry stable IRRxxxx codes, severities, source spans and
+// optional related notes and fix hints; ordering is deterministic (span,
+// then code), so renderings are byte-stable and can be committed as golden
+// files.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// Severity ranks a diagnostic.
+type Severity int
+
+// Severities, ordered: an Error outranks a Warning outranks Info.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	}
+	return "info"
+}
+
+// MarshalJSON renders the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses a severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "error":
+		*s = Error
+	case "warning":
+		*s = Warning
+	case "info":
+		*s = Info
+	default:
+		return fmt.Errorf("lint: unknown severity %q", name)
+	}
+	return nil
+}
+
+// ParseSeverity maps a -fail-on style name to a Severity.
+func ParseSeverity(name string) (Severity, error) {
+	switch name {
+	case "error":
+		return Error, nil
+	case "warn", "warning":
+		return Warning, nil
+	case "info":
+		return Info, nil
+	}
+	return Info, fmt.Errorf("lint: unknown severity %q (want info, warn or error)", name)
+}
+
+// Span is a source region. End may equal Start (a point span); both are
+// 1-based line:column positions.
+type Span struct {
+	Start lang.Pos `json:"start"`
+	End   lang.Pos `json:"end"`
+}
+
+// At builds a point span.
+func At(p lang.Pos) Span { return Span{Start: p, End: p} }
+
+func (s Span) String() string { return s.Start.String() }
+
+// Related is a secondary note attached to a diagnostic: a witness, a
+// propagation-trace step, or the location of a conflicting access.
+type Related struct {
+	Pos     lang.Pos `json:"pos"`
+	Message string   `json:"message"`
+}
+
+// Diag is one diagnostic. The Code is stable across releases (see Codes);
+// Severity defaults from the code table but may be adjusted per instance.
+type Diag struct {
+	Code     string    `json:"code"`
+	Severity Severity  `json:"severity"`
+	Span     Span      `json:"span"`
+	Message  string    `json:"message"`
+	Related  []Related `json:"related,omitempty"`
+	// FixHint suggests a concrete remediation, when one is known.
+	FixHint string `json:"fix_hint,omitempty"`
+	// Unit names the program unit the span belongs to ("" for main).
+	Unit string `json:"unit,omitempty"`
+}
+
+// String renders the primary line of the diagnostic:
+// "line:col: severity: message [CODE]".
+func (d Diag) String() string {
+	return fmt.Sprintf("%s: %s: %s [%s]", d.Span.Start, d.Severity, d.Message, d.Code)
+}
+
+// Code metadata. Codes are append-only: numbers are never reused and
+// titles never change meaning.
+type CodeInfo struct {
+	// Title is the short name of the defect class.
+	Title string
+	// Severity is the default severity of the code.
+	Severity Severity
+}
+
+// Codes is the registry of diagnostic codes.
+//
+// Families: IRR1xxx dataflow and control-flow lints, IRR2xxx index-array
+// property lints, IRR3xxx subscript bounds lints, IRR9xxx verdict-audit
+// findings.
+var Codes = map[string]CodeInfo{
+	CodeUseBeforeDef:    {Title: "use-before-def", Severity: Warning},
+	CodeUnreachable:     {Title: "unreachable statement", Severity: Warning},
+	CodeZeroStep:        {Title: "zero DO step", Severity: Error},
+	CodeZeroTrip:        {Title: "contradictory DO bounds", Severity: Warning},
+	CodeNonInjective:    {Title: "non-injective index array", Severity: Warning},
+	CodeOutOfBounds:     {Title: "provable out-of-bounds subscript", Severity: Error},
+	CodeAuditParallel:   {Title: "audit-mismatch: parallel verdict", Severity: Error},
+	CodeAuditPrivate:    {Title: "audit-mismatch: privatization verdict", Severity: Error},
+	CodeAuditIncomplete: {Title: "audit incomplete", Severity: Info},
+}
+
+// Diagnostic codes.
+const (
+	// CodeUseBeforeDef: a scalar is read with no reaching definition — on
+	// every path the value is the implicit zero initialization.
+	CodeUseBeforeDef = "IRR1001"
+	// CodeUnreachable: a statement no control path reaches.
+	CodeUnreachable = "IRR1002"
+	// CodeZeroStep: a DO loop whose constant step is zero (faults at run
+	// time).
+	CodeZeroStep = "IRR1003"
+	// CodeZeroTrip: a DO loop whose constant bounds contradict its step
+	// direction — the body never executes.
+	CodeZeroTrip = "IRR1004"
+	// CodeNonInjective: a loop stays serial because an index array used in
+	// a subscript could not be proven injective; the diagnostic carries
+	// the failing query's propagation trace and, when the auditor's
+	// replay observed one, a concrete counterexample witness.
+	CodeNonInjective = "IRR2003"
+	// CodeOutOfBounds: a subscript whose symbolic range lies provably and
+	// entirely outside the declared array bounds.
+	CodeOutOfBounds = "IRR3002"
+	// CodeAuditParallel: the independent oracle found a cross-iteration
+	// conflict in a loop the pipeline classified parallel.
+	CodeAuditParallel = "IRR9001"
+	// CodeAuditPrivate: the oracle observed a privatized variable reading
+	// a value another iteration wrote (or one never written in-iteration).
+	CodeAuditPrivate = "IRR9002"
+	// CodeAuditIncomplete: the audit replay could not run to completion
+	// (step budget, runtime fault, footprint cap); verdicts it did not
+	// reach are unaudited, not confirmed.
+	CodeAuditIncomplete = "IRR9003"
+)
+
+// New builds a diagnostic with the code's default severity.
+func New(code string, pos lang.Pos, format string, args ...any) Diag {
+	return Diag{
+		Code:     code,
+		Severity: Codes[code].Severity,
+		Span:     At(pos),
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// Sort orders diagnostics deterministically: by span start (line, then
+// column), then code, then message. Renderings of the same diagnostics are
+// therefore byte-identical across runs, job counts and map iteration
+// orders.
+func Sort(diags []Diag) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Span.Start.Line != b.Span.Start.Line {
+			return a.Span.Start.Line < b.Span.Start.Line
+		}
+		if a.Span.Start.Col != b.Span.Start.Col {
+			return a.Span.Start.Col < b.Span.Start.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Counts tallies diagnostics by severity.
+type Counts struct {
+	Errors   int `json:"errors"`
+	Warnings int `json:"warnings"`
+	Infos    int `json:"infos"`
+}
+
+// Count tallies diags by severity.
+func Count(diags []Diag) Counts {
+	var c Counts
+	for _, d := range diags {
+		switch d.Severity {
+		case Error:
+			c.Errors++
+		case Warning:
+			c.Warnings++
+		default:
+			c.Infos++
+		}
+	}
+	return c
+}
+
+// AtLeast reports whether any diagnostic reaches the threshold severity.
+func AtLeast(diags []Diag, min Severity) bool {
+	for _, d := range diags {
+		if d.Severity >= min {
+			return true
+		}
+	}
+	return false
+}
+
+// Render writes the diagnostics in the canonical text format, one primary
+// line per diagnostic and one indented line per related note:
+//
+//	12:5: warning: scalar "u" is read but never assigned [IRR1001]
+//	    3:1: declared here
+func Render(diags []Diag) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+		for _, r := range d.Related {
+			sb.WriteString("    ")
+			if r.Pos.IsValid() {
+				sb.WriteString(r.Pos.String())
+				sb.WriteString(": ")
+			}
+			sb.WriteString(r.Message)
+			sb.WriteByte('\n')
+		}
+		if d.FixHint != "" {
+			sb.WriteString("    hint: ")
+			sb.WriteString(d.FixHint)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

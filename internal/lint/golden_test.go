@@ -1,0 +1,81 @@
+package lint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden .diag files")
+
+// TestGoldenDiagnostics locks the full diagnostic output — codes, spans,
+// messages, related notes and hints — for every committed example. The
+// shipped corpus under examples/corpus must stay clean (empty goldens);
+// the testdata programs are deliberately defective and their goldens are
+// the rich rendering. Regenerate with: go test ./internal/lint -run Golden -update
+func TestGoldenDiagnostics(t *testing.T) {
+	for _, dir := range []string{"../../examples/corpus", "testdata"} {
+		paths, err := filepath.Glob(filepath.Join(dir, "*.fl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) == 0 {
+			t.Fatalf("no .fl programs under %s", dir)
+		}
+		for _, path := range paths {
+			path := path
+			t.Run(filepath.Base(path), func(t *testing.T) {
+				src, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				diags, err := irregular.Lint(string(src), irregular.Options{})
+				if err != nil {
+					t.Fatalf("lint %s: %v", path, err)
+				}
+				got := irregular.RenderDiags(diags)
+				golden := strings.TrimSuffix(path, ".fl") + ".diag"
+				if *update {
+					if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("missing golden (run with -update): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("diagnostics drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestCorpusIsClean is the acceptance gate in test form: the shipped
+// examples must produce zero error-severity diagnostics.
+func TestCorpusIsClean(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/corpus/*.fl")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("corpus glob: %v (%d files)", err, len(paths))
+	}
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := irregular.Lint(string(src), irregular.Options{})
+		if err != nil {
+			t.Fatalf("lint %s: %v", path, err)
+		}
+		if lint.AtLeast(diags, lint.Error) {
+			t.Errorf("%s has error diagnostics:\n%s", path, irregular.RenderDiags(diags))
+		}
+	}
+}

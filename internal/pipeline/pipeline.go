@@ -25,6 +25,7 @@ import (
 	"repro/internal/deptest"
 	"repro/internal/expr"
 	"repro/internal/lang"
+	"repro/internal/lint"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/passes"
@@ -63,6 +64,10 @@ type Result struct {
 	Info    *sem.Info
 	Mod     *dataflow.ModInfo
 	Reports []*parallel.LoopReport
+
+	// Diags are the lint and audit findings (only with Options.Lint),
+	// sorted by span then code.
+	Diags []lint.Diag
 
 	// LoC is the number of non-blank source lines.
 	LoC int
@@ -130,6 +135,10 @@ type Options struct {
 	// Limits bounds the resources one compilation may consume; the zero
 	// value is unlimited. Violations surface as comperr.ErrResourceLimit.
 	Limits Limits
+	// Lint runs the diagnostics phase after parallelization: source lints
+	// over a fresh parse plus the verdict audit (see internal/lint). The
+	// findings land in Result.Diags; they never fail the compilation.
+	Lint bool
 }
 
 // Limits bounds one compilation. Zero fields are unlimited; exceeding a
@@ -335,10 +344,21 @@ func compile(ctx context.Context, guard *comperr.Guard, src string, mode paralle
 	reports := pz.Run()
 	end()
 
+	var diags []lint.Diag
+	if opts.Lint {
+		end = phase("lint")
+		diags, err = runLint(ctx, guard, rec, opts, src, mode, info, pz, reports)
+		end()
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	res.Program = prog
 	res.Info = info
 	res.Mod = mod
 	res.Reports = reports
+	res.Diags = diags
 	res.CompileTime = time.Since(start)
 	res.parallelizer = pz
 	res.Interchanged = interchanged

@@ -1,0 +1,90 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// DefectClass names a seedable defect.
+type DefectClass string
+
+// Defect classes with known lint ground truth.
+const (
+	// DefectUseBeforeDef seeds a scalar read that no path assigns
+	// (expect IRR1001).
+	DefectUseBeforeDef DefectClass = "use-before-def"
+	// DefectOOB seeds a constant off-by-one subscript past the declared
+	// bound (expect IRR3002).
+	DefectOOB DefectClass = "oob-subscript"
+	// DefectNonInjective seeds a gather through a provably non-injective
+	// index array (expect IRR2003 on the use loop).
+	DefectNonInjective DefectClass = "non-injective-gather"
+)
+
+// Classes lists every defect class, for table-driven tests.
+func Classes() []DefectClass {
+	return []DefectClass{DefectUseBeforeDef, DefectOOB, DefectNonInjective}
+}
+
+// SeededDefect is the ground truth of one injected defect.
+type SeededDefect struct {
+	Class DefectClass
+	// Code is the diagnostic code a linter must report (the strings are
+	// stable; see internal/lint's registry).
+	Code string
+	// Line is the 1-based source line the diagnostic must anchor to.
+	Line int
+	// Marker is a substring unique to the injected defect, for messages.
+	Marker string
+}
+
+// GenerateDefective builds a random well-formed program and injects one
+// defect of the given class, returning the source and its ground truth.
+// The program still parses and checks; only the seeded defect class (plus
+// whatever the random base program legitimately contains) is wrong with it.
+func GenerateDefective(r *rand.Rand, cfg Config, class DefectClass) (string, SeededDefect) {
+	src := Generate(r, cfg)
+	var decl, block, marker, code string
+	headerOffset := 0 // lines above the marker the diagnostic anchors to
+	switch class {
+	case DefectUseBeforeDef:
+		decl = "  real ubd999\n"
+		block = "  s3 = s3 + ubd999 * 0.25\n"
+		marker = "s3 + ubd999"
+		code = "IRR1001"
+	case DefectOOB:
+		block = "  a1(nn + 1) = 0.0\n"
+		marker = "a1(nn + 1)"
+		code = "IRR3002"
+	case DefectNonInjective:
+		decl = "  integer nj9(nn)\n"
+		block = "  do w = 1, nn\n" +
+			"    nj9(w) = mod(w, 4) + 1\n" +
+			"  end do\n" +
+			"  do w = 1, nn\n" +
+			"    a2(nj9(w)) = a2(nj9(w)) + 2.0\n" +
+			"  end do\n"
+		marker = "a2(nj9(w)) ="
+		headerOffset = 1 // the diagnostic anchors to the DO header above
+		code = "IRR2003"
+	default:
+		panic(fmt.Sprintf("progen: unknown defect class %q", class))
+	}
+	// Injection anchors are lines Generate always emits exactly once: the
+	// last declaration and the first line of the final accumulation.
+	if decl != "" {
+		src = strings.Replace(src, "  real acc\n", "  real acc\n"+decl, 1)
+	}
+	src = strings.Replace(src, "  acc = 0.0\n", block+"  acc = 0.0\n", 1)
+	idx := strings.Index(src, marker)
+	if idx < 0 {
+		panic("progen: defect marker not found after injection")
+	}
+	return src, SeededDefect{
+		Class:  class,
+		Code:   code,
+		Line:   1 + strings.Count(src[:idx], "\n") - headerOffset,
+		Marker: marker,
+	}
+}

@@ -12,6 +12,8 @@
 //	POST /v1/compile  compile a program; the response embeds the
 //	                  irr-metrics/1 document of the compilation
 //	POST /v1/run      compile and execute on the simulated machine
+//	POST /v1/lint     compile with the diagnostics phase: source lints
+//	                  plus the parallelization verdict audit
 //	GET  /v1/kernels  list the bundled benchmark kernels
 //	GET  /healthz     liveness: "ok" plus in-flight count
 //	GET  /metrics     the server's own counters (requests, errors by kind,
@@ -35,6 +37,7 @@ import (
 
 	irregular "repro"
 	"repro/internal/comperr"
+	"repro/internal/lint"
 	"repro/internal/obs"
 )
 
@@ -119,6 +122,7 @@ func New(cfg Config) *Server {
 	s.sem = newWeighted(int64(s.cfg.MaxConcurrent))
 	s.mux.HandleFunc("POST /v1/compile", s.guard(s.handleCompile))
 	s.mux.HandleFunc("POST /v1/run", s.guard(s.handleRun))
+	s.mux.HandleFunc("POST /v1/lint", s.guard(s.handleLint))
 	s.mux.HandleFunc("GET /v1/kernels", s.guard(s.handleKernels))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -379,6 +383,55 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Output:          out.String(),
 		OutputTruncated: out.truncated,
 		Summary:         res.Summary(),
+	})
+}
+
+// lintResponse answers POST /v1/lint. Diags is the full structured finding
+// list (IRRxxxx codes, severities, spans, related notes, fix hints);
+// Rendered is the same in the canonical text format.
+type lintResponse struct {
+	Diags    []irregular.Diag `json:"diags"`
+	Counts   lint.Counts      `json:"counts"`
+	Rendered string           `json:"rendered"`
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	s.rec.Count("irrd_lint_total", 1)
+	var req compileRequest
+	if err := s.decodeCompileRequest(w, r, &req, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	opts, err := s.options(&req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	opts.Lint = true
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	// Weight 2, like /v1/run: the audit replays the program on the
+	// simulated machine.
+	release, err := s.admit(ctx, 2)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer release()
+
+	res, err := s.compile(ctx, req.Src, opts)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	diags := res.Diags
+	if diags == nil {
+		diags = []irregular.Diag{}
+	}
+	writeJSON(w, http.StatusOK, lintResponse{
+		Diags:    diags,
+		Counts:   lint.Count(diags),
+		Rendered: irregular.RenderDiags(diags),
 	})
 }
 

@@ -418,3 +418,58 @@ func TestLimitedBuffer(t *testing.T) {
 		t.Errorf("buf = %q truncated=%v", b.String(), b.truncated)
 	}
 }
+
+func TestLintEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// A clean program: 200 with an empty (but present) diags array.
+	var out lintResponse
+	resp := post(t, ts, "/v1/lint", compileRequest{Src: demoSrc}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if out.Diags == nil || len(out.Diags) != 0 {
+		t.Errorf("clean program diags = %v, want []", out.Diags)
+	}
+	if out.Rendered != "" {
+		t.Errorf("rendered = %q, want empty", out.Rendered)
+	}
+
+	// A defective program: findings come back structured and rendered.
+	bad := `
+program bad
+  param n = 8
+  real a(n)
+  integer i, u
+  a(n + 1) = real(u)
+  do i = 1, n
+    a(i) = 1.0
+  end do
+end
+`
+	out = lintResponse{}
+	resp = post(t, ts, "/v1/lint", compileRequest{Src: bad}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (findings are not transport errors)", resp.StatusCode)
+	}
+	codes := map[string]bool{}
+	for _, d := range out.Diags {
+		codes[d.Code] = true
+	}
+	if !codes["IRR3002"] || !codes["IRR1001"] {
+		t.Errorf("want IRR3002 and IRR1001, got %v", out.Diags)
+	}
+	if out.Counts.Errors == 0 || out.Counts.Warnings == 0 {
+		t.Errorf("counts = %+v", out.Counts)
+	}
+	if !strings.Contains(out.Rendered, "[IRR3002]") {
+		t.Errorf("rendered output missing code tag:\n%s", out.Rendered)
+	}
+
+	// A program that does not parse is still a transport-level error.
+	var env errEnvelope
+	resp = post(t, ts, "/v1/lint", compileRequest{Src: "not f-lite"}, &env)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("parse failure status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/kernels"
 	"repro/internal/lang"
+	"repro/internal/lint"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -114,6 +115,12 @@ type Options struct {
 	// steps); the zero value is unlimited. Violations return
 	// ErrResourceLimit-classified errors.
 	Limits Limits
+	// Lint runs the diagnostics phase: source lints (use-before-def,
+	// unreachable code, degenerate DO loops, provable out-of-bounds
+	// subscripts, non-injective index arrays) plus the parallelization
+	// verdict audit. Findings land in Result.Diags; they never fail the
+	// compilation.
+	Lint bool
 }
 
 // pipelineConfig is the single conversion point from the public Options to
@@ -136,6 +143,7 @@ func (o Options) pipelineConfig() (pipeline.Options, pipeline.Organization) {
 		NoPropertyCache: o.NoPropertyCache,
 		NoExprIntern:    o.NoExprIntern,
 		Limits:          o.Limits,
+		Lint:            o.Lint,
 	}, org
 }
 
@@ -177,6 +185,43 @@ func CompileContext(ctx context.Context, src string, opts Options) (*Result, err
 		return nil, err
 	}
 	return &Result{Result: res}, nil
+}
+
+// Diag is one lint or audit finding; see package internal/lint for the
+// diagnostic model and the IRRxxxx code registry.
+type Diag = lint.Diag
+
+// DiagSeverity ranks a diagnostic.
+type DiagSeverity = lint.Severity
+
+// Diagnostic severities, ordered.
+const (
+	DiagInfo    = lint.Info
+	DiagWarning = lint.Warning
+	DiagError   = lint.Error
+)
+
+// RenderDiags writes diagnostics in the canonical text format, one primary
+// line per finding plus indented related notes and fix hints.
+func RenderDiags(diags []Diag) string { return lint.Render(diags) }
+
+// Lint compiles src with the diagnostics phase enabled and returns the
+// findings, sorted by source span then code. It is LintContext with a
+// background context.
+func Lint(src string, opts Options) ([]Diag, error) {
+	return LintContext(context.Background(), src, opts)
+}
+
+// LintContext is Lint under a context (the same cancellation checkpoints
+// as CompileContext, plus checkpoints inside the lint walks and the audit
+// replay).
+func LintContext(ctx context.Context, src string, opts Options) ([]Diag, error) {
+	opts.Lint = true
+	res, err := CompileContext(ctx, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diags, nil
 }
 
 // BatchInput is one source file of a batch compilation.
