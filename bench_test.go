@@ -226,6 +226,12 @@ func BenchmarkCompileTelemetryOn(b *testing.B) {
 	benchCompileTelemetry(b, obs.New)
 }
 
+// BenchmarkCompileTelemetryDebug measures the full-trace configuration
+// (per-node query propagation steps) — the -explain path, not production.
+func BenchmarkCompileTelemetryDebug(b *testing.B) {
+	benchCompileTelemetry(b, obs.NewDebug)
+}
+
 // ---------------------------------------------------------------------------
 // Ablation: Fig. 15 phase organization. The reorganized order allows
 // interprocedural property queries; the original order restricts them to

@@ -8,6 +8,7 @@
 //	irrbench -metrics out.json [-jobs N]
 //	irrbench -parallel-report out.json [-jobs N]
 //	irrbench -expr-report out.json [-jobs N]
+//	irrbench -obs-report out.json [-obs-kernel trfd]
 //
 // With no selection flags, everything is printed. -metrics additionally
 // writes one machine-readable metrics document per kernel ("-": stdout);
@@ -16,6 +17,9 @@
 // cold vs warm, and writes the irr-parallel/1 JSON document ("-": stdout).
 // -expr-report measures the expression-interner microbenchmarks and the
 // intern-on/intern-off batch, and writes the irr-expr/1 JSON document.
+// -obs-report measures the telemetry configurations (baseline, off, the
+// always-on production level, full debug traces) and writes the irr-obs/2
+// JSON document — the BENCH_obs2.json payload.
 // -cpuprofile / -memprofile write pprof profiles of whatever the invocation
 // ran.
 package main
@@ -45,6 +49,8 @@ func main() {
 	jobs := flag.Int("jobs", 0, "worker pool size for batch compilation (0: GOMAXPROCS)")
 	parReport := flag.String("parallel-report", "", "measure serial-vs-parallel and cold-vs-warm cache; write JSON to this path (\"-\" for stdout)")
 	exprReport := flag.String("expr-report", "", "measure expression interning (micro + end-to-end); write JSON to this path (\"-\" for stdout)")
+	obsReport := flag.String("obs-report", "", "measure telemetry overhead (baseline/off/on/debug); write JSON to this path (\"-\" for stdout)")
+	obsKernel := flag.String("obs-kernel", "trfd", "kernel for -obs-report")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this path at exit")
 	flag.Parse()
@@ -133,7 +139,18 @@ func main() {
 		}
 		writeOut(*exprReport, append(data, '\n'))
 	}
-	anyReport := *metrics != "" || *parReport != "" || *exprReport != ""
+	if *obsReport != "" {
+		rep, err := bench.MeasureObs(*obsKernel)
+		if err != nil {
+			fail(err)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		writeOut(*obsReport, append(data, '\n'))
+	}
+	anyReport := *metrics != "" || *parReport != "" || *exprReport != "" || *obsReport != ""
 	if anyReport && !*t2 && !*t3 && !*f16 {
 		return
 	}

@@ -52,7 +52,24 @@ import (
 	irregular "repro"
 	"repro/internal/comperr"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 )
+
+// writeOut streams a document to a path ("-" for stdout).
+func writeOut(path string, write func(*os.File) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	mode := flag.String("mode", "full", "compiler configuration: full, noiaa or baseline")
@@ -68,6 +85,7 @@ func main() {
 	lintFlag := flag.Bool("lint", false, "run the diagnostics phase and print the findings")
 	explain := flag.Bool("explain", false, "print the per-loop decision log (query traces for failed properties)")
 	metrics := flag.String("metrics", "", "write the metrics JSON document to this path (\"-\" for stdout)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event file (load in Perfetto) to this path (\"-\" for stdout)")
 	noIntern := flag.Bool("no-expr-intern", false, "disable expression hash-consing (output is identical; for measurement)")
 	timeout := flag.Duration("timeout", 0, "abort compilation (and -run) after this duration (0: none)")
 	maxQuerySteps := flag.Int("max-query-steps", 0, "bound property-query propagation steps (0: unlimited)")
@@ -141,7 +159,8 @@ func main() {
 		Mode:            m,
 		Intraprocedural: *intra,
 		Interchange:     *interchange,
-		Telemetry:       *explain || *metrics != "",
+		Telemetry:       *explain || *metrics != "" || *traceOut != "",
+		Trace:           *explain || *traceOut != "",
 		Jobs:            *jobs,
 		NoExprIntern:    *noIntern,
 		Limits:          irregular.Limits{MaxQuerySteps: *maxQuerySteps},
@@ -149,8 +168,8 @@ func main() {
 	}
 
 	if len(inputs) > 1 {
-		if *run || *dump || *bounds {
-			fail(fmt.Errorf("-run, -dump and -bounds are single-program flags; got %d inputs", len(inputs)))
+		if *run || *dump || *bounds || *traceOut != "" {
+			fail(fmt.Errorf("-run, -dump, -bounds and -trace-out are single-program flags; got %d inputs", len(inputs)))
 		}
 		compileBatch(ctx, inputs, copts, *explain, *metrics)
 		return
@@ -197,8 +216,15 @@ func main() {
 		fmt.Printf("\nsimulated time: %d cycles on %s x%d (%d parallel regions)\n",
 			out.Time, *mach, *procs, out.ParallelRegions)
 	}
-	// The metrics document is written last so that, with -run, the
-	// machine.loop.* counters of the execution are included.
+	// The trace and metrics documents are written last so that, with -run,
+	// the machine.loop.* counters and events of the execution are included.
+	if *traceOut != "" {
+		if err := writeOut(*traceOut, func(w *os.File) error {
+			return obs.WriteChromeTrace(w, res.Recorder.Events())
+		}); err != nil {
+			fail(err)
+		}
+	}
 	if *metrics != "" {
 		data, err := res.SummaryJSON()
 		if err != nil {

@@ -8,10 +8,21 @@
 //	irrd [-addr :8080] [-max-concurrent N] [-max-source-bytes N]
 //	     [-max-query-steps N] [-max-run-steps N]
 //	     [-request-timeout 60s] [-admit-timeout 10s]
+//	     [-pprof] [-log-json]
 //
 // Compile a bundled kernel:
 //
 //	curl -s localhost:8080/v1/compile -d '{"kernel":"trfd"}'
+//
+// Scrape the always-on telemetry (Prometheus text exposition; per-endpoint
+// latency histograms, per-phase and per-query-kind compile latency
+// aggregated across requests):
+//
+//	curl -s localhost:8080/metrics
+//
+// Every request gets an X-Request-Id (client-supplied or generated),
+// echoed on the response and on the per-request JSON log line. -pprof
+// mounts /debug/pprof for live profiling; it is off by default.
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener closes,
 // in-flight compilations drain (their contexts stay live until
@@ -24,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -42,12 +54,18 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request compile/run deadline (0: 60s, <0: none)")
 	admitTimeout := flag.Duration("admit-timeout", 0, "max queueing time before 429 (0: 10s, <0: reject immediately)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain limit")
+	pprofFlag := flag.Bool("pprof", false, "mount /debug/pprof (off by default; exposes runtime internals)")
+	logText := flag.Bool("log-text", false, "per-request logs as text instead of JSON lines")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "usage: irrd [flags]; see -h")
 		os.Exit(2)
 	}
 
+	var handler slog.Handler = slog.NewJSONHandler(os.Stderr, nil)
+	if *logText {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
 	srv := server.New(server.Config{
 		MaxConcurrent:  *maxConcurrent,
 		MaxSourceBytes: *maxSourceBytes,
@@ -55,6 +73,8 @@ func main() {
 		MaxRunSteps:    *maxRunSteps,
 		RequestTimeout: *requestTimeout,
 		AdmitTimeout:   *admitTimeout,
+		EnablePprof:    *pprofFlag,
+		Logger:         slog.New(handler),
 	})
 	hs := &http.Server{
 		Addr:              *addr,

@@ -9,6 +9,7 @@
 //	irrview [-tokens] [-ast] [-cfg] [-hcg] [-access] file.fl
 //	irrview -kernel tree -cfg
 //	irrview -kernel trfd -trace
+//	irrview -kernel trfd -trace-out trfd.trace.json   (load in Perfetto)
 //
 // With no selection flags everything except -trace is printed.
 package main
@@ -25,6 +26,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/kernels"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/sem"
 )
 
@@ -36,6 +38,7 @@ func main() {
 	access := flag.Bool("access", false, "dump single-indexed access classification per loop")
 	defs := flag.Bool("defs", false, "dump scalar reaching definitions per unit")
 	trace := flag.Bool("trace", false, "compile with telemetry and dump the raw event stream")
+	traceOut := flag.String("trace-out", "", "compile with telemetry and write a Chrome trace-event file (load in Perfetto; \"-\" for stdout)")
 	kernel := flag.String("kernel", "", "inspect a bundled kernel instead of a file")
 	flag.Parse()
 
@@ -58,18 +61,36 @@ func main() {
 		os.Exit(2)
 	}
 
-	all := !*tokens && !*ast && !*cfgF && !*hcg && !*access && !*defs && !*trace
+	all := !*tokens && !*ast && !*cfgF && !*hcg && !*access && !*defs && !*trace && *traceOut == ""
 
-	// -trace runs the whole pipeline (the other views work pre-pipeline on
-	// the untransformed program), so handle it first and on its own.
-	if *trace {
-		res, err := irregular.Compile(src, irregular.Options{Telemetry: true})
+	// -trace / -trace-out run the whole pipeline (the other views work
+	// pre-pipeline on the untransformed program), so handle them first and
+	// on their own. Both use the debug-level recorder: the point of the
+	// views is the full per-node propagation stream.
+	if *trace || *traceOut != "" {
+		res, err := irregular.Compile(src, irregular.Options{Trace: true})
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println("=== telemetry event stream ===")
-		if err := res.TraceTo(os.Stdout); err != nil {
-			fail(err)
+		if *trace {
+			fmt.Println("=== telemetry event stream ===")
+			if err := res.TraceTo(os.Stdout); err != nil {
+				fail(err)
+			}
+		}
+		if *traceOut != "" {
+			w := os.Stdout
+			if *traceOut != "-" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					fail(err)
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := obs.WriteChromeTrace(w, res.Recorder.Events()); err != nil {
+				fail(err)
+			}
 		}
 	}
 

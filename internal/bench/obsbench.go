@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/pipeline"
+)
+
+// ObsReportSchema identifies the JSON layout of the telemetry-overhead
+// measurement document (BENCH_obs2.json).
+const ObsReportSchema = "irr-obs/2"
+
+// ObsReport records what the always-on observability core costs: the same
+// kernel compiled with no recorder, a nil recorder threaded through every
+// call site (the off path), the production LevelInfo recorder, and the
+// LevelDebug full-trace recorder — the payload of `irrbench -obs-report`.
+//
+// The acceptance bars: OffExtraAllocs == 0 (the disabled path is one nil
+// check per call site, no allocation), and OverheadOnPct <= 10 (production
+// telemetry fits the overhead budget; the per-node propagation traces that
+// used to blow it live behind LevelDebug).
+type ObsReport struct {
+	Schema     string `json:"schema"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Kernel     string `json:"kernel"`
+	// Baseline is the plain compile (no recorder parameter at all).
+	Baseline MicroBench `json:"baseline"`
+	// TelemetryOff threads a nil *obs.Recorder through the pipeline.
+	TelemetryOff MicroBench `json:"telemetry_off"`
+	// TelemetryOn is the always-on production configuration (LevelInfo).
+	TelemetryOn MicroBench `json:"telemetry_on"`
+	// TelemetryDebug is the full-trace configuration behind -explain.
+	TelemetryDebug MicroBench `json:"telemetry_debug"`
+	// OverheadOnPct / OverheadDebugPct are the time overheads relative to
+	// the off path.
+	OverheadOnPct    float64 `json:"overhead_on_pct"`
+	OverheadDebugPct float64 `json:"overhead_debug_pct"`
+	// OffExtraAllocs is TelemetryOff allocations minus Baseline allocations
+	// per op (must be 0: the off path is allocation-free by construction).
+	OffExtraAllocs int64 `json:"off_extra_allocs"`
+	// EventsEmitted / EventsDropped / Histograms describe one LevelInfo
+	// compile of the kernel: how much the production recorder collects.
+	EventsEmitted int64 `json:"events_emitted"`
+	EventsDropped int64 `json:"events_dropped"`
+	Histograms    int   `json:"histograms"`
+}
+
+// MeasureObs benchmarks the telemetry configurations on one kernel
+// (default trfd, the kernel the BENCH_obs trajectory tracks).
+func MeasureObs(kernel string) (*ObsReport, error) {
+	if kernel == "" {
+		kernel = "trfd"
+	}
+	k, err := kernels.ByName(kernel, kernels.Small)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ObsReport{
+		Schema:     ObsReportSchema,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Kernel:     kernel,
+	}
+
+	bench := func(name string, compile func() error) (MicroBench, error) {
+		var failed error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := compile(); err != nil {
+					failed = err
+					b.FailNow()
+				}
+			}
+		})
+		if failed != nil {
+			return MicroBench{}, fmt.Errorf("%s: %w", name, failed)
+		}
+		return MicroBench{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(max(1, int64(r.N))),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}, nil
+	}
+	withRec := func(rec func() *obs.Recorder) func() error {
+		return func() error {
+			_, err := pipeline.CompileOpts(k.Source, parallel.Full, pipeline.Reorganized,
+				pipeline.Options{Recorder: rec()})
+			return err
+		}
+	}
+
+	// Baseline uses the plain entry point; telemetry-off threads a nil
+	// recorder through the same pipeline. Their per-op allocations must be
+	// identical — the off path is a nil check, not a code path.
+	if rep.Baseline, err = bench("baseline", func() error {
+		_, err := pipeline.Compile(k.Source, parallel.Full, pipeline.Reorganized)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if rep.TelemetryOff, err = bench("telemetry-off", withRec(func() *obs.Recorder { return nil })); err != nil {
+		return nil, err
+	}
+	if rep.TelemetryOn, err = bench("telemetry-on", withRec(obs.New)); err != nil {
+		return nil, err
+	}
+	if rep.TelemetryDebug, err = bench("telemetry-debug", withRec(obs.NewDebug)); err != nil {
+		return nil, err
+	}
+	if off := rep.TelemetryOff.NsPerOp; off > 0 {
+		rep.OverheadOnPct = 100 * (rep.TelemetryOn.NsPerOp - off) / off
+		rep.OverheadDebugPct = 100 * (rep.TelemetryDebug.NsPerOp - off) / off
+	}
+	rep.OffExtraAllocs = rep.TelemetryOff.AllocsPerOp - rep.Baseline.AllocsPerOp
+
+	// One production-level compile, for the recorder's own footprint.
+	res, err := pipeline.CompileOpts(k.Source, parallel.Full, pipeline.Reorganized,
+		pipeline.Options{Recorder: obs.New()})
+	if err != nil {
+		return nil, err
+	}
+	emitted, dropped, _ := res.Recorder.EventStats()
+	rep.EventsEmitted, rep.EventsDropped = emitted, dropped
+	rep.Histograms = len(res.Recorder.Histograms())
+	return rep, nil
+}

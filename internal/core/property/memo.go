@@ -63,7 +63,7 @@ func (a *Analysis) VerifyCached(mk func() Property, at lang.Stmt, sec *section.S
 	key := memoKey{node: a.HP.StmtNode[at], id: cacheID(prop), sec: sec.Key()}
 	if e, hit := a.memo[key]; hit {
 		a.Stats.CacheHits++
-		if a.Rec.Enabled() {
+		if a.Rec.DebugEnabled() {
 			a.Rec.Event("query.cache",
 				obs.F("prop", e.prop.String()),
 				obs.F("section", sec.String()),

@@ -154,10 +154,17 @@ func (a *Analysis) flatLoopFor(u *lang.Unit, stmt lang.Stmt) *cfg.Loop {
 // properties carry their derived facts (bounds, value, distance).
 func (a *Analysis) Verify(prop Property, at lang.Stmt, sec *section.Section) bool {
 	start := time.Now()
-	defer func() { a.Stats.Elapsed += time.Since(start) }()
+	defer func() {
+		elapsed := time.Since(start)
+		a.Stats.Elapsed += elapsed
+		// Per-kind latency histogram: always on, three atomic adds.
+		a.Rec.Observe("query.duration:kind="+prop.Kind(), elapsed)
+	}()
 	a.Stats.Queries++
+	// The query span and its per-node propagation steps format node labels
+	// and section strings — Debug-level work, skipped in production.
 	var sp *obs.Span
-	if a.Rec.Enabled() {
+	if a.Rec.DebugEnabled() {
 		sp = a.Rec.StartSpan("query",
 			obs.F("prop", prop.String()),
 			obs.F("array", prop.TargetArray()),
@@ -196,8 +203,8 @@ func (a *Analysis) Verify(prop Property, at lang.Stmt, sec *section.Section) boo
 type session struct {
 	a    *Analysis
 	prop Property
-	// trace mirrors a.Rec.Enabled(); checked before building event fields
-	// so the disabled path never formats node labels.
+	// trace mirrors a.Rec.DebugEnabled(); checked before building event
+	// fields so the production path never formats node labels.
 	trace bool
 	// modScalars / modArrays accumulate everything modified by nodes the
 	// query passed through — i.e. code between the use site and the

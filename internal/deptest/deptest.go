@@ -225,7 +225,8 @@ func (a *Analyzer) AnalyzeLoop(u *lang.Unit, loop *lang.DoStmt) map[string]*Verd
 // the key to extending coverage. No-op without a recorder or property
 // analysis.
 func (a *Analyzer) DiagnoseArray(u *lang.Unit, loop *lang.DoStmt, arr string) {
-	if a.Prop == nil || !a.Rec.Enabled() {
+	// Replaying queries is pure diagnostic overhead: Debug-level only.
+	if a.Prop == nil || !a.Rec.DebugEnabled() {
 		return
 	}
 	// Replayed queries must not perturb the analysis bookkeeping: Stats

@@ -749,7 +749,7 @@ func nonInjectiveDiag(prop *property.Analysis, r *parallel.LoopReport, arr, ia s
 	// The replay must not perturb the analysis bookkeeping or the memo
 	// table's hit counters: save and restore both.
 	savedRec, savedStats := prop.Rec, prop.Stats
-	rec := obs.New()
+	rec := obs.NewDebug() // the replay exists to capture per-node steps
 	prop.Rec = rec
 	in := prop.Interner()
 	lo := in.FromAST(r.Loop.Lo)

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+)
+
+// counterShards stripes each counter over this many cache-line-padded
+// atomic slots (power of two). Concurrent writers from different
+// goroutines land on different shards with high probability, so the hot
+// counters of a serving process (requests, in-flight, per-kind errors)
+// never serialize on one cache line; reads sum the shards.
+const counterShards = 8
+
+// paddedInt64 is an atomic counter padded to its own cache line.
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// counter is one named counter's shard array.
+type counter struct {
+	shards [counterShards]paddedInt64
+}
+
+// add stripes delta onto a pseudo-randomly chosen shard. math/rand/v2's
+// top-level generator is per-OS-thread in Go ≥1.22, so the choice itself
+// is contention-free and a few nanoseconds.
+func (c *counter) add(delta int64) {
+	c.shards[rand.Uint32()&(counterShards-1)].v.Add(delta)
+}
+
+// load sums the shards. The sum is exact once writers quiesce; during
+// concurrent writes it is a linearizable-enough snapshot for telemetry.
+func (c *counter) load() int64 {
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// counterSet maps names to sharded counters. Lookups after first creation
+// are lock-free (sync.Map read path).
+type counterSet struct {
+	m sync.Map // string -> *counter
+}
+
+func (s *counterSet) add(name string, delta int64) {
+	if c, ok := s.m.Load(name); ok {
+		c.(*counter).add(delta)
+		return
+	}
+	c, _ := s.m.LoadOrStore(name, new(counter))
+	c.(*counter).add(delta)
+}
+
+func (s *counterSet) get(name string) int64 {
+	if c, ok := s.m.Load(name); ok {
+		return c.(*counter).load()
+	}
+	return 0
+}
+
+// snapshot copies all counters into a plain map (nil when empty).
+func (s *counterSet) snapshot() map[string]int64 {
+	var out map[string]int64
+	s.m.Range(func(k, v any) bool {
+		if out == nil {
+			out = map[string]int64{}
+		}
+		out[k.(string)] = v.(*counter).load()
+		return true
+	})
+	return out
+}

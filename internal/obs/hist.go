@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// BucketBoundsNs are the fixed histogram bucket upper bounds in
+// nanoseconds: a 1-2-5 sequence per decade from 1µs to 10s. Every
+// histogram shares them, which keeps snapshots mergeable (Absorb) and the
+// Prometheus exposition cumulative buckets trivially consistent. A final
+// implicit +Inf bucket catches the overflow.
+var BucketBoundsNs = []int64{
+	1_000, 2_000, 5_000, // 1µs 2µs 5µs
+	10_000, 20_000, 50_000, // 10µs 20µs 50µs
+	100_000, 200_000, 500_000, // 100µs 200µs 500µs
+	1_000_000, 2_000_000, 5_000_000, // 1ms 2ms 5ms
+	10_000_000, 20_000_000, 50_000_000, // 10ms 20ms 50ms
+	100_000_000, 200_000_000, 500_000_000, // 100ms 200ms 500ms
+	1_000_000_000, 2_000_000_000, 5_000_000_000, // 1s 2s 5s
+	10_000_000_000, // 10s
+}
+
+// numBuckets counts the fixed bounds plus the +Inf overflow bucket.
+var numBuckets = len(BucketBoundsNs) + 1
+
+// bucketIndex locates the first bucket whose upper bound admits ns.
+func bucketIndex(ns int64) int {
+	// Binary search over the 22 fixed bounds.
+	lo, hi := 0, len(BucketBoundsNs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns <= BucketBoundsNs[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo // == len(BucketBoundsNs) for the +Inf bucket
+}
+
+// histogram is one named latency histogram: atomic per-bucket counts plus
+// the running sum and count. Observations are three atomic adds.
+type histogram struct {
+	counts []atomic.Int64 // len numBuckets
+	sum    atomic.Int64   // total observed ns
+	count  atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, numBuckets)}
+}
+
+func (h *histogram) observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketIndex(ns)].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+}
+
+// HistSnapshot is one histogram's state at snapshot time. Counts is
+// per-bucket (not cumulative), aligned with BucketBoundsNs plus a final
+// +Inf bucket.
+type HistSnapshot struct {
+	Name   string  `json:"name"`
+	Counts []int64 `json:"counts"`
+	SumNs  int64   `json:"sum_ns"`
+	Count  int64   `json:"count"`
+}
+
+// Quantile derives the q-quantile (0 < q <= 1) in nanoseconds by linear
+// interpolation within the owning bucket — the standard fixed-bucket
+// estimate (what PromQL's histogram_quantile computes server-side).
+// Samples in the +Inf bucket clamp to the largest finite bound. Returns 0
+// on an empty histogram.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(BucketBoundsNs) {
+			return BucketBoundsNs[len(BucketBoundsNs)-1]
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = BucketBoundsNs[i-1]
+		}
+		hi := BucketBoundsNs[i]
+		frac := (rank - prev) / float64(c)
+		return lo + int64(frac*float64(hi-lo))
+	}
+	return BucketBoundsNs[len(BucketBoundsNs)-1]
+}
+
+// P50, P90 and P99 are the quantiles the Stats surfaces report.
+func (s HistSnapshot) P50() int64 { return s.Quantile(0.50) }
+func (s HistSnapshot) P90() int64 { return s.Quantile(0.90) }
+func (s HistSnapshot) P99() int64 { return s.Quantile(0.99) }
+
+// histSet maps names to histograms; same lock-free read path as
+// counterSet.
+type histSet struct {
+	m sync.Map // string -> *histogram
+}
+
+func (s *histSet) observe(name string, ns int64) {
+	if h, ok := s.m.Load(name); ok {
+		h.(*histogram).observe(ns)
+		return
+	}
+	h, _ := s.m.LoadOrStore(name, newHistogram())
+	h.(*histogram).observe(ns)
+}
+
+func (s *histSet) get(name string) (HistSnapshot, bool) {
+	h, ok := s.m.Load(name)
+	if !ok {
+		return HistSnapshot{}, false
+	}
+	return snapshotOf(name, h.(*histogram)), true
+}
+
+func snapshotOf(name string, h *histogram) HistSnapshot {
+	snap := HistSnapshot{
+		Name:   name,
+		Counts: make([]int64, numBuckets),
+		SumNs:  h.sum.Load(),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		snap.Counts[i] = c
+		snap.Count += c
+	}
+	return snap
+}
+
+func (s *histSet) snapshot() []HistSnapshot {
+	var out []HistSnapshot
+	s.m.Range(func(k, v any) bool {
+		out = append(out, snapshotOf(k.(string), v.(*histogram)))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// absorb merges src's buckets into s.
+func (s *histSet) absorb(src *histSet) {
+	src.m.Range(func(k, v any) bool {
+		name, sh := k.(string), v.(*histogram)
+		h, ok := s.m.Load(name)
+		if !ok {
+			h, _ = s.m.LoadOrStore(name, newHistogram())
+		}
+		dh := h.(*histogram)
+		for i := range sh.counts {
+			if c := sh.counts[i].Load(); c != 0 {
+				dh.counts[i].Add(c)
+			}
+		}
+		if v := sh.sum.Load(); v != 0 {
+			dh.sum.Add(v)
+		}
+		if v := sh.count.Load(); v != 0 {
+			dh.count.Add(v)
+		}
+		return true
+	})
+}

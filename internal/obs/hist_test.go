@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// Observations landing exactly on a bucket bound belong to that bucket
+// (bounds are inclusive upper limits, the Prometheus "le" convention).
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{999, 0},
+		{1_000, 0}, // exactly 1µs: first bucket
+		{1_001, 1}, // just past the bound: next bucket
+		{2_000, 1},
+		{2_001, 2},
+		{5_000, 2},
+		{1_000_000, 9}, // 1ms
+		{1_000_001, 10},
+		{10_000_000_000, 21}, // 10s: last finite bucket
+		{10_000_000_001, 22}, // overflow: +Inf bucket
+		{1 << 62, 22},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.ns); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	if numBuckets != len(BucketBoundsNs)+1 {
+		t.Errorf("numBuckets = %d, want %d", numBuckets, len(BucketBoundsNs)+1)
+	}
+	for i := 1; i < len(BucketBoundsNs); i++ {
+		if BucketBoundsNs[i] <= BucketBoundsNs[i-1] {
+			t.Errorf("bounds not strictly increasing at %d: %d then %d",
+				i, BucketBoundsNs[i-1], BucketBoundsNs[i])
+		}
+	}
+}
+
+// Quantile is the standard fixed-bucket linear interpolation; the table
+// pins its behavior at bucket edges, across buckets, in the +Inf bucket
+// and on empty input.
+func TestQuantileTable(t *testing.T) {
+	mk := func(samples ...int64) HistSnapshot {
+		s := HistSnapshot{Name: "t", Counts: make([]int64, numBuckets)}
+		for _, ns := range samples {
+			s.Counts[bucketIndex(ns)]++
+			s.SumNs += ns
+			s.Count++
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		snap HistSnapshot
+		q    float64
+		want int64
+	}{
+		{"empty", mk(), 0.5, 0},
+		{"q zero", mk(1500), 0, 0},
+		// Four samples in the (1µs, 2µs] bucket: median interpolates to
+		// the bucket midpoint, q=1 reaches the upper bound.
+		{"median mid-bucket", mk(1500, 1500, 1500, 1500), 0.5, 1500},
+		{"q1 upper bound", mk(1500, 1500, 1500, 1500), 1.0, 2000},
+		{"q above 1 clamps", mk(1500, 1500, 1500, 1500), 2.0, 2000},
+		// One sample per bucket across (0,1µs] and (1µs,2µs]: p50 is the
+		// top of the first bucket, p90 interpolates 80% into the second.
+		{"two buckets p50", mk(500, 1500), 0.5, 1000},
+		{"two buckets p90", mk(500, 1500), 0.9, 1800},
+		// Overflow samples clamp to the largest finite bound.
+		{"inf clamps", mk(20_000_000_000), 0.99, 10_000_000_000},
+		// Mixed: 9 fast samples, 1 overflow — p99 lands in +Inf.
+		{"tail in inf", mk(500, 500, 500, 500, 500, 500, 500, 500, 500, 20_000_000_000),
+			0.99, 10_000_000_000},
+	}
+	for _, c := range cases {
+		if got := c.snap.Quantile(c.q); got != c.want {
+			t.Errorf("%s: Quantile(%v) = %d, want %d", c.name, c.q, got, c.want)
+		}
+	}
+
+	s := mk(1500, 1500, 1500, 1500)
+	if s.P50() != 1500 || s.P90() != s.Quantile(0.9) || s.P99() != s.Quantile(0.99) {
+		t.Errorf("P50/P90/P99 disagree with Quantile: %d %d %d", s.P50(), s.P90(), s.P99())
+	}
+}
+
+// Observe through the recorder: negative durations clamp to zero, the sum
+// and count track, and Histograms() returns name-sorted snapshots.
+func TestRecorderObserve(t *testing.T) {
+	r := New()
+	r.Observe("b.later", time.Millisecond)
+	r.Observe("a.first", 5*time.Microsecond)
+	r.Observe("a.first", -time.Second) // clamps to 0
+	hs := r.Histograms()
+	if len(hs) != 2 || hs[0].Name != "a.first" || hs[1].Name != "b.later" {
+		t.Fatalf("histograms = %+v", hs)
+	}
+	a := hs[0]
+	if a.Count != 2 || a.SumNs != 5_000 {
+		t.Errorf("a.first count=%d sum=%d", a.Count, a.SumNs)
+	}
+	if a.Counts[0] != 1 { // the clamped-to-0 sample
+		t.Errorf("clamped sample not in first bucket: %v", a.Counts)
+	}
+	if _, ok := r.Histogram("absent"); ok {
+		t.Error("absent histogram reported present")
+	}
+}

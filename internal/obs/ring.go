@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// ring is a bounded multi-producer event buffer. Producers claim a ticket
+// with one atomic add and publish a fully-built *Event into their slot
+// with one atomic pointer store — no locks, no unbounded growth. When
+// producers lap the ring, old slots are overwritten: the newest Capacity
+// events win, and the overwritten remainder is reported as dropped.
+//
+// There is no consumer; snapshot() reads the slots concurrently with
+// producers, which is safe because slots hold immutable *Event values
+// behind atomic pointers. A snapshot taken during concurrent emission is a
+// consistent set of fully-written events, ordered by Seq, though it may
+// transiently miss a just-claimed ticket whose store has not landed yet.
+type ring struct {
+	slots []atomic.Pointer[Event]
+	mask  uint64
+	tail  atomic.Uint64 // next ticket; total emitted over the lifetime
+}
+
+// init sizes the ring to capacity rounded up to a power of two.
+func (r *ring) init(capacity int) {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r.slots = make([]atomic.Pointer[Event], n)
+	r.mask = uint64(n - 1)
+}
+
+// put claims the next ticket and publishes e (assigning its Seq). e must
+// not be mutated afterwards.
+func (r *ring) put(e *Event) {
+	t := r.tail.Add(1) - 1
+	e.Seq = int(t)
+	r.slots[t&r.mask].Store(e)
+}
+
+// stats returns the lifetime emission count and how many events have been
+// overwritten by wrap-around.
+func (r *ring) stats() (emitted, dropped int64) {
+	emitted = int64(r.tail.Load())
+	if n := int64(len(r.slots)); emitted > n {
+		dropped = emitted - n
+	}
+	return emitted, dropped
+}
+
+// snapshot returns the surviving events in Seq order.
+func (r *ring) snapshot() []Event {
+	if len(r.slots) == 0 {
+		return nil
+	}
+	tail := r.tail.Load()
+	if tail == 0 {
+		return nil
+	}
+	out := make([]Event, 0, min(uint64(len(r.slots)), tail))
+	floor := int64(tail) - int64(len(r.slots)) // oldest Seq still in window
+	for i := range r.slots {
+		if e := r.slots[i].Load(); e != nil && int64(e.Seq) >= floor {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

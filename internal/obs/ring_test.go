@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A full ring overwrites the oldest events and reports them dropped; the
+// surviving window is exactly the newest Capacity events in Seq order.
+func TestRingDropsOldest(t *testing.T) {
+	const capacity = 16
+	r := NewWith(Config{Capacity: capacity})
+	const total = 3*capacity + 5
+	for i := 0; i < total; i++ {
+		r.Event("e", Fi("i", int64(i)))
+	}
+
+	emitted, dropped, cap_ := r.EventStats()
+	if emitted != total {
+		t.Errorf("emitted = %d, want %d", emitted, total)
+	}
+	if dropped != total-capacity {
+		t.Errorf("dropped = %d, want %d", dropped, total-capacity)
+	}
+	if cap_ != capacity {
+		t.Errorf("capacity = %d, want %d", cap_, capacity)
+	}
+
+	evs := r.Events()
+	if len(evs) != capacity {
+		t.Fatalf("got %d surviving events, want %d", len(evs), capacity)
+	}
+	for i, e := range evs {
+		if want := total - capacity + i; e.Seq != want {
+			t.Errorf("event %d: seq %d, want %d", i, e.Seq, want)
+		}
+	}
+
+	// The bookkeeping pair shows up in the counter snapshot.
+	cs := r.Counters()
+	if cs["obs.events.emitted"] != total || cs["obs.events.dropped"] != total-capacity {
+		t.Errorf("counters = emitted %d dropped %d", cs["obs.events.emitted"], cs["obs.events.dropped"])
+	}
+}
+
+// Capacity rounds up to a power of two; a fresh recorder reports nothing.
+func TestRingCapacityRounding(t *testing.T) {
+	r := NewWith(Config{Capacity: 9})
+	if _, _, c := r.EventStats(); c != 16 {
+		t.Errorf("capacity = %d, want 16", c)
+	}
+	if evs := r.Events(); evs != nil {
+		t.Errorf("fresh recorder has events: %v", evs)
+	}
+	if e, d, _ := r.EventStats(); e != 0 || d != 0 {
+		t.Errorf("fresh stats = %d emitted, %d dropped", e, d)
+	}
+}
+
+// Ending a span whose begin was overwritten by wrap-around must stay safe,
+// and the Chrome exporter must skip the unbalanced end.
+func TestSpanEndSafeUnderWrap(t *testing.T) {
+	r := NewWith(Config{Capacity: 8})
+	sp := r.StartSpan("outer")
+	for i := 0; i < 64; i++ { // lap the ring; outer.begin is long gone
+		r.Event("filler")
+	}
+	if d := sp.End(); d < 0 {
+		t.Fatalf("span duration %v", d)
+	}
+	evs := r.Events()
+	if len(evs) == 0 || evs[len(evs)-1].Kind != "outer.end" {
+		t.Fatalf("last event %+v, want outer.end", evs[len(evs)-1])
+	}
+	// An extra unbalanced End must not drive the depth negative.
+	sp.End()
+	r.Event("after")
+	evs = r.Events()
+	if last := evs[len(evs)-1]; last.Depth < 0 {
+		t.Errorf("depth went negative: %+v", last)
+	}
+}
+
+// Many producers hammer the ring, counters and histograms while a reader
+// snapshots concurrently. Run under -race this is the MPSC safety proof;
+// the assertions check no event is lost or torn.
+func TestRingConcurrentStress(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 2000
+		capacity  = 1 << 10
+	)
+	r := NewWith(Config{Capacity: capacity})
+
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() { // concurrent reader
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, e := range r.Events() {
+				if e.Kind == "" {
+					t.Error("torn event: empty kind")
+					return
+				}
+			}
+			r.Counters()
+			r.Histograms()
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			kind := fmt.Sprintf("w%d", w)
+			for i := 0; i < perWriter; i++ {
+				r.Event(kind, Fi("i", int64(i)))
+				r.Count("stress.total", 1)
+				r.Observe("stress.duration", time.Duration(i)*time.Microsecond)
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	reader.Wait()
+
+	emitted, dropped, _ := r.EventStats()
+	if emitted != writers*perWriter {
+		t.Errorf("emitted = %d, want %d", emitted, writers*perWriter)
+	}
+	if want := int64(writers*perWriter - capacity); dropped != want {
+		t.Errorf("dropped = %d, want %d", dropped, want)
+	}
+	if got := r.Counter("stress.total"); got != writers*perWriter {
+		t.Errorf("stress.total = %d, want %d", got, writers*perWriter)
+	}
+	h, ok := r.Histogram("stress.duration")
+	if !ok || h.Count != writers*perWriter {
+		t.Errorf("stress.duration count = %d (ok=%v), want %d", h.Count, ok, writers*perWriter)
+	}
+	evs := r.Events()
+	if len(evs) != capacity {
+		t.Errorf("surviving events = %d, want %d", len(evs), capacity)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("snapshot not Seq-ordered at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+// Absorb folds counters and histogram buckets but not events.
+func TestAbsorb(t *testing.T) {
+	dst, src := New(), New()
+	dst.Count("c", 1)
+	src.Count("c", 2)
+	src.Count("only.src", 5)
+	src.Observe("h", 1500) // bucket (1µs, 2µs]
+	src.Observe("h", 1500)
+	src.Event("not.transferred")
+
+	dst.Absorb(src)
+	if got := dst.Counter("c"); got != 3 {
+		t.Errorf("c = %d", got)
+	}
+	if got := dst.Counter("only.src"); got != 5 {
+		t.Errorf("only.src = %d", got)
+	}
+	h, ok := dst.Histogram("h")
+	if !ok || h.Count != 2 || h.SumNs != 3000 {
+		t.Errorf("h = %+v (ok=%v)", h, ok)
+	}
+	if evs := dst.Events(); len(evs) != 0 {
+		t.Errorf("events transferred: %v", evs)
+	}
+	// Absorbing again accumulates; nil operands are no-ops.
+	dst.Absorb(src)
+	if got := dst.Counter("c"); got != 5 {
+		t.Errorf("after second absorb, c = %d", got)
+	}
+	dst.Absorb(nil)
+	(*Recorder)(nil).Absorb(src)
+}

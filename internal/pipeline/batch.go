@@ -77,9 +77,12 @@ func CompileBatchContext(ctx context.Context, inputs []BatchInput, mode parallel
 			return
 		}
 		itemOpts := opts
-		if telemetry {
+		switch {
+		case telemetry && opts.Recorder.DebugEnabled():
+			itemOpts.Recorder = obs.NewDebug()
+		case telemetry:
 			itemOpts.Recorder = obs.New()
-		} else {
+		default:
 			itemOpts.Recorder = nil
 		}
 		res, err := func() (res *Result, err error) {

@@ -28,14 +28,32 @@ type Metrics struct {
 	Counters     map[string]int64 `json:"counters"`
 	Loops        []LoopMetric     `json:"loops"`
 	Interchanged int              `json:"interchanged,omitempty"`
-	// Events is the telemetry event count (0 when telemetry was off).
-	Events int `json:"events,omitempty"`
+	// Events is the total number of telemetry events emitted over the
+	// compilation (0 when telemetry was off). When it exceeds the recorder's
+	// ring capacity, only the newest events survive; EventsDropped counts the
+	// overwritten remainder.
+	Events        int `json:"events,omitempty"`
+	EventsDropped int `json:"events_dropped,omitempty"`
+	// Histograms are the latency distributions the recorder collected
+	// (per-phase, per-query-kind, whole-compile), with derived quantiles.
+	Histograms []HistogramMetric `json:"histograms,omitempty"`
 }
 
 // PhaseMetric is one phase's duration in nanoseconds.
 type PhaseMetric struct {
 	Name string `json:"name"`
 	Ns   int64  `json:"ns"`
+}
+
+// HistogramMetric is one latency histogram with derived quantiles (all
+// nanoseconds; quantiles are fixed-bucket linear-interpolation estimates).
+type HistogramMetric struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+	SumNs int64  `json:"sum_ns"`
+	P50Ns int64  `json:"p50_ns"`
+	P90Ns int64  `json:"p90_ns"`
+	P99Ns int64  `json:"p99_ns"`
 }
 
 // LoopMetric is one loop's parallelization verdict.
@@ -77,7 +95,19 @@ func (r *Result) Metrics() *Metrics {
 		m.Counters[k] = v
 	}
 	if r.Recorder.Enabled() {
-		m.Events = len(r.Recorder.Events())
+		emitted, dropped, _ := r.Recorder.EventStats()
+		m.Events = int(emitted)
+		m.EventsDropped = int(dropped)
+		for _, h := range r.Recorder.Histograms() {
+			m.Histograms = append(m.Histograms, HistogramMetric{
+				Name:  h.Name,
+				Count: h.Count,
+				SumNs: h.SumNs,
+				P50Ns: h.P50(),
+				P90Ns: h.P90(),
+				P99Ns: h.P99(),
+			})
+		}
 	}
 	for _, lr := range r.Reports {
 		lm := LoopMetric{

@@ -205,7 +205,9 @@ func compile(ctx context.Context, guard *comperr.Guard, src string, mode paralle
 		sp := rec.StartSpan("phase", obs.F("name", name))
 		t0 := time.Now()
 		return func() {
-			res.Phases = append(res.Phases, PhaseTime{Name: name, Duration: time.Since(t0)})
+			d := time.Since(t0)
+			res.Phases = append(res.Phases, PhaseTime{Name: name, Duration: d})
+			rec.Observe("phase.duration:phase="+name, d)
 			sp.End()
 		}
 	}
@@ -360,6 +362,7 @@ func compile(ctx context.Context, guard *comperr.Guard, src string, mode paralle
 	res.Reports = reports
 	res.Diags = diags
 	res.CompileTime = time.Since(start)
+	rec.Observe("compile.duration", res.CompileTime)
 	res.parallelizer = pz
 	res.Interchanged = interchanged
 	res.PropertyStats = *pz.PropertyStats()

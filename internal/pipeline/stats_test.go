@@ -118,7 +118,8 @@ func TestTelemetryDoesNotChangeResults(t *testing.T) {
 // TRFD's do_r loop, whose ia(i) = i*(i-1)/2 fill defeats the injectivity
 // pattern.
 func TestExplainShowsFailedQueryTrace(t *testing.T) {
-	res := compileKernel(t, "trfd", obs.New())
+	// The propagation trace and diagnosis replay are Debug-level detail.
+	res := compileKernel(t, "trfd", obs.NewDebug())
 	out := res.Explain()
 	for _, want := range []string{
 		"loop trfd/do_r@18: serial",

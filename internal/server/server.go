@@ -16,8 +16,18 @@
 //	                  plus the parallelization verdict audit
 //	GET  /v1/kernels  list the bundled benchmark kernels
 //	GET  /healthz     liveness: "ok" plus in-flight count
-//	GET  /metrics     the server's own counters (requests, errors by kind,
-//	                  rejections, panics), fed by an obs.Recorder
+//	GET  /metrics     the server's telemetry: Prometheus text exposition by
+//	                  default (counters, gauges, per-endpoint / per-phase /
+//	                  per-query-kind latency histograms), or the JSON
+//	                  document under "Accept: application/json"
+//	GET  /debug/pprof/...  the runtime profiles, only when Config.EnablePprof
+//
+// Every request carries a request ID: the X-Request-Id header is accepted
+// from the client (or generated), echoed on the response, logged on the
+// structured per-request log line, and stamped into the compilation's
+// telemetry recorder. Each finished compilation's counters and latency
+// histograms are absorbed into the server's process-wide recorder, so
+// /metrics aggregates per-phase and per-query-kind latency across requests.
 //
 // Failures use one envelope, {"error":{"kind":..., "message":...}}, with
 // the kind drawn from the comperr taxonomy and a distinct HTTP status per
@@ -26,11 +36,16 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
+	"math/rand/v2"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strings"
 	"time"
@@ -65,6 +80,14 @@ type Config struct {
 	// MaxOutputBytes truncates a run's PRINT output in the response
 	// (default 64 KiB).
 	MaxOutputBytes int
+	// EnablePprof mounts the runtime profiling handlers under
+	// /debug/pprof/. Off by default: the profiles expose internals, so the
+	// operator opts in (irrd -pprof).
+	EnablePprof bool
+	// Logger receives one structured line per request (request id, method,
+	// path, endpoint, status, duration). nil discards the log — pass
+	// slog.New(slog.NewJSONHandler(os.Stderr, nil)) or similar to keep it.
+	Logger *slog.Logger
 }
 
 // withDefaults resolves the zero value to the documented defaults.
@@ -103,7 +126,8 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg Config
 	sem *weighted
-	rec *obs.Recorder // the /metrics counters; mutex-protected, shared across requests
+	rec *obs.Recorder // process-wide telemetry: lock-free counters + histograms, shared across requests
+	log *slog.Logger
 	mux *http.ServeMux
 
 	// compile is the compilation entry point, a field so tests can inject
@@ -116,16 +140,27 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg.withDefaults(),
 		rec:     obs.New(),
+		log:     cfg.Logger,
 		mux:     http.NewServeMux(),
 		compile: irregular.CompileContext,
 	}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s.sem = newWeighted(int64(s.cfg.MaxConcurrent))
-	s.mux.HandleFunc("POST /v1/compile", s.guard(s.handleCompile))
-	s.mux.HandleFunc("POST /v1/run", s.guard(s.handleRun))
-	s.mux.HandleFunc("POST /v1/lint", s.guard(s.handleLint))
-	s.mux.HandleFunc("GET /v1/kernels", s.guard(s.handleKernels))
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/compile", s.guard("compile", s.handleCompile))
+	s.mux.HandleFunc("POST /v1/run", s.guard("run", s.handleRun))
+	s.mux.HandleFunc("POST /v1/lint", s.guard("lint", s.handleLint))
+	s.mux.HandleFunc("GET /v1/kernels", s.guard("kernels", s.handleKernels))
+	s.mux.HandleFunc("GET /healthz", s.guard("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.guard("metrics", s.handleMetrics))
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -136,22 +171,68 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // ErrResourceLimit-classified but maps to 429, not 413.
 var errCapacity = errors.New("server at capacity")
 
-// guard wraps a handler with the isolation layer: panics inside the
-// request (including inside compilation worker pools, which re-panic on
-// the dispatching goroutine) are recovered into a 500 envelope, counted,
-// and the server keeps serving.
-func (s *Server) guard(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+// requestIDHeader carries the request correlation ID.
+const requestIDHeader = "X-Request-Id"
+
+// newRequestID generates a 16-hex-digit correlation ID. It only needs to be
+// unique enough to correlate log lines and traces, not unguessable.
+func newRequestID() string {
+	return fmt.Sprintf("%016x", rand.Uint64())
+}
+
+// statusWriter captures the response status for the request log line and
+// the per-endpoint metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// guard wraps every handler with the request-scoped observability and
+// isolation layer:
+//
+//   - the request ID is accepted from X-Request-Id (or generated), echoed
+//     on the response, and left on r.Header for the handler to propagate
+//     into the compilation's recorder;
+//   - the request is counted, timed into the per-endpoint latency
+//     histogram, and logged as one structured line;
+//   - panics inside the request (including inside compilation worker
+//     pools, which re-panic on the dispatching goroutine) are recovered
+//     into a 500 envelope, counted, and the server keeps serving.
+func (s *Server) guard(endpoint string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(requestIDHeader)
+		if id == "" {
+			id = newRequestID()
+			r.Header.Set(requestIDHeader, id)
+		}
+		w.Header().Set(requestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		s.rec.Count("irrd_requests_total", 1)
+		s.rec.Count("irrd_requests_total:endpoint="+endpoint, 1)
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.rec.Count("irrd_panics_total", 1)
-				s.rec.Count("irrd_errors_total:internal", 1)
-				writeError(w, http.StatusInternalServerError, "internal",
+				s.rec.Count("irrd_errors_total:kind=internal", 1)
+				writeError(sw, http.StatusInternalServerError, "internal",
 					fmt.Sprintf("internal error: %v", rec))
 			}
+			d := time.Since(start)
+			s.rec.Observe("irrd_request_duration:endpoint="+endpoint, d)
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("id", id),
+				slog.String("endpoint", endpoint),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Duration("duration", d))
 		}()
-		h(w, r)
+		h(sw, r)
 	}
 }
 
@@ -165,6 +246,10 @@ func (s *Server) admit(ctx context.Context, weight int64) (release func(), err e
 	} else {
 		actx, cancel := context.WithTimeout(ctx, s.cfg.AdmitTimeout)
 		defer cancel()
+		// The queue-depth gauge covers the whole Acquire, so a scrape during
+		// a capacity squeeze sees how many requests are parked.
+		s.rec.Count("irrd_admission_queue_depth", 1)
+		defer s.rec.Count("irrd_admission_queue_depth", -1)
 		if err := s.sem.Acquire(actx, weight); err != nil {
 			// The admission deadline firing means capacity, not a client
 			// cancellation — unless the request context itself is done.
@@ -205,14 +290,20 @@ type compileRequest struct {
 	Interchange bool `json:"interchange,omitempty"`
 	// Explain adds the per-loop decision log to the response.
 	Explain bool `json:"explain,omitempty"`
+	// Trace compiles at debug telemetry level and adds a Chrome trace-event
+	// document (loadable in Perfetto) to the response.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // compileResponse answers POST /v1/compile. Metrics is the irr-metrics/1
-// document — the same schema irrc -metrics writes.
+// document — the same schema irrc -metrics writes. Trace, when requested,
+// is the Chrome trace-event JSON array.
 type compileResponse struct {
-	Summary string          `json:"summary"`
-	Metrics json.RawMessage `json:"metrics"`
-	Explain string          `json:"explain,omitempty"`
+	Summary   string          `json:"summary"`
+	Metrics   json.RawMessage `json:"metrics"`
+	Explain   string          `json:"explain,omitempty"`
+	Trace     json.RawMessage `json:"trace,omitempty"`
+	RequestID string          `json:"request_id,omitempty"`
 }
 
 // runRequest is the body of POST /v1/run.
@@ -268,12 +359,16 @@ func (s *Server) decodeCompileRequest(w http.ResponseWriter, r *http.Request, in
 
 // options maps the request to public compile options under the server's
 // limits. Telemetry is always on: the response's irr-metrics/1 document
-// and the decision log need the recorder.
-func (s *Server) options(req *compileRequest) (irregular.Options, error) {
+// and the decision log need the recorder, and the server absorbs every
+// compilation's counters and histograms into its /metrics aggregates.
+// An Explain or Trace request raises the recorder to debug level.
+func (s *Server) options(req *compileRequest, requestID string) (irregular.Options, error) {
 	opts := irregular.Options{
 		Intraprocedural: req.Intraprocedural,
 		Interchange:     req.Interchange,
 		Telemetry:       true,
+		Trace:           req.Explain || req.Trace,
+		RequestID:       requestID,
 		Limits: irregular.Limits{
 			MaxQuerySteps:  s.cfg.MaxQuerySteps,
 			MaxSourceBytes: s.cfg.MaxSourceBytes,
@@ -299,7 +394,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	opts, err := s.options(&req)
+	opts, err := s.options(&req, r.Header.Get(requestIDHeader))
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -318,14 +413,27 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	s.rec.Absorb(res.Recorder)
 	metrics, err := res.SummaryJSON()
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	resp := compileResponse{Summary: res.Summary(), Metrics: metrics}
+	resp := compileResponse{
+		Summary:   res.Summary(),
+		Metrics:   metrics,
+		RequestID: r.Header.Get(requestIDHeader),
+	}
 	if req.Explain {
 		resp.Explain = res.Explain()
+	}
+	if req.Trace {
+		var buf bytes.Buffer
+		if err := obs.WriteChromeTrace(&buf, res.Recorder.Events()); err != nil {
+			s.fail(w, err)
+			return
+		}
+		resp.Trace = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -337,7 +445,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	opts, err := s.options(&req.compileRequest)
+	opts, err := s.options(&req.compileRequest, r.Header.Get(requestIDHeader))
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -377,6 +485,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	// Absorbed after the run so the machine.loop.* counters are included.
+	s.rec.Absorb(res.Recorder)
 	writeJSON(w, http.StatusOK, runResponse{
 		Time:            rr.Time,
 		ParallelRegions: rr.ParallelRegions,
@@ -402,7 +512,7 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	opts, err := s.options(&req)
+	opts, err := s.options(&req, r.Header.Get(requestIDHeader))
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -424,6 +534,7 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	s.rec.Absorb(res.Recorder)
 	diags := res.Diags
 	if diags == nil {
 		diags = []irregular.Diag{}
@@ -460,17 +571,43 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"schema":   "irrd-metrics/1",
-		"counters": s.rec.Counters(),
-	})
+// handleMetrics serves the process-wide telemetry. The default response is
+// the Prometheus text exposition format (counters typed by the _total
+// suffix, gauges otherwise, and one histogram family per latency metric
+// with cumulative buckets in seconds). "Accept: application/json" selects
+// the irrd-metrics/2 JSON document instead, which adds derived quantiles.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		type hist struct {
+			Name  string `json:"name"`
+			Count int64  `json:"count"`
+			SumNs int64  `json:"sum_ns"`
+			P50Ns int64  `json:"p50_ns"`
+			P90Ns int64  `json:"p90_ns"`
+			P99Ns int64  `json:"p99_ns"`
+		}
+		var hists []hist
+		for _, h := range s.rec.Histograms() {
+			hists = append(hists, hist{
+				Name: h.Name, Count: h.Count, SumNs: h.SumNs,
+				P50Ns: h.P50(), P90Ns: h.P90(), P99Ns: h.P99(),
+			})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"schema":     "irrd-metrics/2",
+			"counters":   s.rec.Counters(),
+			"histograms": hists,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	obs.WritePrometheus(w, s.rec) //nolint:errcheck // the response is already committed
 }
 
 // fail writes the error envelope and counts the failure by kind.
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	status, kind := statusOf(err)
-	s.rec.Count("irrd_errors_total:"+kind, 1)
+	s.rec.Count("irrd_errors_total:kind="+kind, 1)
 	if errors.Is(err, errCapacity) {
 		s.rec.Count("irrd_rejected_capacity_total", 1)
 	}

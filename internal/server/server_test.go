@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -13,6 +14,7 @@ import (
 
 	irregular "repro"
 	"repro/internal/comperr"
+	"repro/internal/obs"
 )
 
 const demoSrc = `
@@ -273,19 +275,48 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 
 	post(t, ts, "/v1/compile", compileRequest{Src: demoSrc}, nil)
+
+	// The default /metrics response is the Prometheus text format.
 	mresp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	samples, err := obs.ParsePrometheus(string(body))
+	if err != nil {
+		t.Fatalf("ParsePrometheus: %v\n%s", err, body)
+	}
+	byName := map[string]float64{}
+	for _, sm := range samples {
+		byName[sm.Name] += sm.Value
+	}
+	if byName["irrd_compile_total"] < 1 || byName["irrd_requests_total"] < 1 {
+		t.Errorf("prometheus samples missing request counters:\n%s", body)
+	}
+
+	// Accept: application/json selects the JSON document.
+	req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	jresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
 	var m struct {
 		Schema   string           `json:"schema"`
 		Counters map[string]int64 `json:"counters"`
 	}
-	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+	if err := json.NewDecoder(jresp.Body).Decode(&m); err != nil {
 		t.Fatal(err)
 	}
-	if m.Schema != "irrd-metrics/1" {
+	if m.Schema != "irrd-metrics/2" {
 		t.Errorf("schema = %q", m.Schema)
 	}
 	if m.Counters["irrd_compile_total"] < 1 || m.Counters["irrd_requests_total"] < 1 {

@@ -97,10 +97,20 @@ type Options struct {
 	// Interchange enables the loop-interchange companion pass.
 	Interchange bool
 	// Telemetry attaches an obs.Recorder to the compilation (and to
-	// subsequent Run calls): per-phase spans, query propagation traces,
-	// dependence-test verdicts and per-loop simulated time, driving
-	// Result.Explain, Result.SummaryJSON and the raw trace dump.
+	// subsequent Run calls) at the always-on production level: per-phase
+	// spans and latency histograms, per-query-kind latency, dependence-test
+	// verdicts and per-loop simulated time, driving Result.Explain,
+	// Result.SummaryJSON and the irrd /metrics aggregation.
 	Telemetry bool
+	// Trace raises the recorder to debug level: per-node query propagation
+	// steps, cache events and failed-verdict diagnosis replays — the detail
+	// behind `-explain` decision logs and full Chrome trace exports. Implies
+	// Telemetry. Costs per-HCG-node formatting work; not for production.
+	Trace bool
+	// RequestID, when set, is stamped onto the compilation's recorder as a
+	// "request" event and carried into telemetry documents, correlating a
+	// compilation's trace with the irrd request (X-Request-Id) that ran it.
+	RequestID string
 	// Jobs bounds the worker pool of the per-unit build phases and of
 	// CompileBatch's per-input fan-out (0 or negative: GOMAXPROCS). The
 	// output is identical for every value.
@@ -133,8 +143,14 @@ func (o Options) pipelineConfig() (pipeline.Options, pipeline.Organization) {
 		org = pipeline.Original
 	}
 	var rec *obs.Recorder
-	if o.Telemetry {
+	switch {
+	case o.Trace:
+		rec = obs.NewDebug()
+	case o.Telemetry:
 		rec = obs.New()
+	}
+	if rec != nil && o.RequestID != "" {
+		rec.Event("request", obs.F("id", o.RequestID))
 	}
 	return pipeline.Options{
 		Interchange:     o.Interchange,
