@@ -9,6 +9,7 @@
 //	irrbench -parallel-report out.json [-jobs N]
 //	irrbench -expr-report out.json [-jobs N]
 //	irrbench -obs-report out.json [-obs-kernel trfd]
+//	irrbench -serve-load out.json [-load-kernel trfd] [-load-requests N] [-load-conc N]
 //
 // With no selection flags, everything is printed. -metrics additionally
 // writes one machine-readable metrics document per kernel ("-": stdout);
@@ -20,6 +21,11 @@
 // -obs-report measures the telemetry configurations (baseline, off, the
 // always-on production level, full debug traces) and writes the irr-obs/2
 // JSON document — the BENCH_obs2.json payload.
+// -serve-load boots throwaway irrd instances and measures the
+// cross-request compilation cache end to end — cold vs warm latency,
+// throughput, coalescing rate under a concurrent identical burst, and the
+// byte-identity of cached responses — and writes the irr-servecache/1
+// JSON document, the BENCH_cache.json payload.
 // -cpuprofile / -memprofile write pprof profiles of whatever the invocation
 // ran.
 package main
@@ -37,6 +43,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/comperr"
 	"repro/internal/kernels"
+	"repro/internal/servebench"
 )
 
 func main() {
@@ -51,6 +58,10 @@ func main() {
 	exprReport := flag.String("expr-report", "", "measure expression interning (micro + end-to-end); write JSON to this path (\"-\" for stdout)")
 	obsReport := flag.String("obs-report", "", "measure telemetry overhead (baseline/off/on/debug); write JSON to this path (\"-\" for stdout)")
 	obsKernel := flag.String("obs-kernel", "trfd", "kernel for -obs-report")
+	serveLoad := flag.String("serve-load", "", "measure the irrd cross-request cache under load; write JSON to this path (\"-\" for stdout)")
+	loadKernel := flag.String("load-kernel", "trfd", "kernel for -serve-load")
+	loadRequests := flag.Int("load-requests", 0, "warm-phase request count for -serve-load (0: 500)")
+	loadConc := flag.Int("load-conc", 0, "client concurrency for -serve-load (0: 2*GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this path at exit")
 	flag.Parse()
@@ -150,7 +161,18 @@ func main() {
 		}
 		writeOut(*obsReport, append(data, '\n'))
 	}
-	anyReport := *metrics != "" || *parReport != "" || *exprReport != "" || *obsReport != ""
+	if *serveLoad != "" {
+		rep, err := servebench.MeasureServeLoad(*loadKernel, *loadRequests, *loadConc)
+		if err != nil {
+			fail(err)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		writeOut(*serveLoad, append(data, '\n'))
+	}
+	anyReport := *metrics != "" || *parReport != "" || *exprReport != "" || *obsReport != "" || *serveLoad != ""
 	if anyReport && !*t2 && !*t3 && !*f16 {
 		return
 	}

@@ -8,11 +8,17 @@
 //	irrd [-addr :8080] [-max-concurrent N] [-max-source-bytes N]
 //	     [-max-query-steps N] [-max-run-steps N]
 //	     [-request-timeout 60s] [-admit-timeout 10s]
+//	     [-cache-bytes N] [-cache-off]
 //	     [-pprof] [-log-json]
 //
 // Compile a bundled kernel:
 //
 //	curl -s localhost:8080/v1/compile -d '{"kernel":"trfd"}'
+//
+// Identical sources are served from the cross-request compilation cache
+// (-cache-bytes budget, default 256MiB; -cache-off disables it), and
+// identical in-flight requests coalesce onto one compilation. The
+// X-Irrd-Cache response header reports hit, miss, coalesced or bypass.
 //
 // Scrape the always-on telemetry (Prometheus text exposition; per-endpoint
 // latency histograms, per-phase and per-query-kind compile latency
@@ -53,6 +59,8 @@ func main() {
 	maxRunSteps := flag.Uint64("max-run-steps", 0, "simulated-machine step cap for /v1/run (0: 2G)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request compile/run deadline (0: 60s, <0: none)")
 	admitTimeout := flag.Duration("admit-timeout", 0, "max queueing time before 429 (0: 10s, <0: reject immediately)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "compilation cache budget in bytes (0: 256MiB)")
+	cacheOff := flag.Bool("cache-off", false, "disable the cross-request compilation cache")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain limit")
 	pprofFlag := flag.Bool("pprof", false, "mount /debug/pprof (off by default; exposes runtime internals)")
 	logText := flag.Bool("log-text", false, "per-request logs as text instead of JSON lines")
@@ -62,6 +70,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	cb := *cacheBytes
+	if *cacheOff {
+		cb = -1
+	}
 	var handler slog.Handler = slog.NewJSONHandler(os.Stderr, nil)
 	if *logText {
 		handler = slog.NewTextHandler(os.Stderr, nil)
@@ -73,6 +85,7 @@ func main() {
 		MaxRunSteps:    *maxRunSteps,
 		RequestTimeout: *requestTimeout,
 		AdmitTimeout:   *admitTimeout,
+		CacheBytes:     cb,
 		EnablePprof:    *pprofFlag,
 		Logger:         slog.New(handler),
 	})

@@ -104,17 +104,26 @@ func CompileBatchContext(ctx context.Context, inputs []BatchInput, mode parallel
 		}
 		return br
 	}
+	// A bounded pool of exactly jobs workers pulling indices from a
+	// channel — not one goroutine per input parked on a semaphore, which
+	// would stack 10k goroutines for a 10k-item batch. Items still land
+	// at br.Items[i], so the input-order aggregation is byte-identical
+	// for any job count.
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, jobs)
-	for i := range inputs {
+	idx := make(chan int)
+	for w := 0; w < jobs; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			compileOne(i)
+			for i := range idx {
+				compileOne(i)
+			}
 		}()
 	}
+	for i := range inputs {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	return br
 }

@@ -1,7 +1,10 @@
 package pipeline
 
 import (
+	"fmt"
 	"reflect"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/kernels"
@@ -100,5 +103,62 @@ func TestBatchErrorIsolation(t *testing.T) {
 	}
 	if br.Err() == nil {
 		t.Error("BatchResult.Err() should surface the failure")
+	}
+}
+
+// TestBatchBoundedGoroutines is the regression test for the fan-out bug:
+// CompileBatchContext used to spawn one goroutine per input up front (each
+// parked on a semaphore), so a 10k-file batch meant 10k goroutines. The
+// pool must hold exactly Jobs workers no matter how many inputs queue.
+func TestBatchBoundedGoroutines(t *testing.T) {
+	src := `
+program tiny
+  param n = 4
+  real a(n)
+  integer i
+  do i = 1, n
+    a(i) = real(i)
+  end do
+  print "a1", a(1)
+end
+`
+	const inputs = 300
+	ins := make([]BatchInput, inputs)
+	for i := range ins {
+		ins[i] = BatchInput{Name: fmt.Sprintf("in%d", i), Src: src}
+	}
+
+	baseline := runtime.NumGoroutine()
+	var peak atomic.Int64
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := int64(runtime.NumGoroutine()); n > peak.Load() {
+				peak.Store(n)
+			}
+			runtime.Gosched()
+		}
+	}()
+	br := CompileBatch(ins, parallel.Full, Reorganized, Options{Jobs: 2})
+	close(stop)
+	<-sampled
+	if err := br.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Items) != inputs {
+		t.Fatalf("items = %d", len(br.Items))
+	}
+	// 2 workers + the sampler + test-runner noise; the old fan-out would
+	// sit at baseline+300 the moment the batch started.
+	if limit := int64(baseline + 50); peak.Load() > limit {
+		t.Errorf("goroutine peak = %d with Jobs=2 over %d inputs (baseline %d, limit %d): pool is not bounded",
+			peak.Load(), inputs, baseline, limit)
 	}
 }

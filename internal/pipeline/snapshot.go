@@ -1,0 +1,94 @@
+package pipeline
+
+import (
+	"repro/internal/lint"
+	"repro/internal/parallel"
+)
+
+// Snapshot is an immutable, cheaply shareable view of a finished
+// compilation: the rendered summary, the frozen irr-metrics/1 document,
+// the diagnostics and the per-loop reports, captured once at snapshot
+// time. A snapshot can be shared across goroutines and across requests —
+// the cross-request cache (internal/rescache via irrd) stores exactly
+// one snapshot per distinct compilation.
+//
+// Immutability contract: everything reachable from a snapshot is frozen.
+// The accessor methods return defensive copies of the mutable slice
+// types; the underlying compilation (program, semantic info, reports) is
+// shared by every Clone and must be treated as read-only — the pipeline
+// never mutates a program after compile returns, and the interpreter and
+// the bounds-check analysis only read it, so concurrent Clones may run
+// simultaneously. Per-request state (the telemetry Recorder, the lazily
+// computed bounds-check result at the public-API layer) is deliberately
+// NOT part of the snapshot: each Clone starts with a nil Recorder.
+type Snapshot struct {
+	summary     string
+	metricsJSON []byte
+	diags       []lint.Diag
+	reports     []*parallel.LoopReport
+	loc         int
+	res         *Result
+}
+
+// Snapshot freezes the result. The metrics document is rendered now, so a
+// later caller sees the compilation exactly as it finished even if the
+// recorder keeps absorbing run-phase counters.
+func (r *Result) Snapshot() (*Snapshot, error) {
+	metrics, err := r.SummaryJSON()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		summary:     r.Summary(),
+		metricsJSON: metrics,
+		diags:       append([]lint.Diag(nil), r.Diags...),
+		reports:     append([]*parallel.LoopReport(nil), r.Reports...),
+		loc:         r.LoC,
+		res:         r,
+	}, nil
+}
+
+// Summary returns the frozen human-readable compilation report.
+func (s *Snapshot) Summary() string { return s.summary }
+
+// MetricsJSON returns a copy of the frozen irr-metrics/1 document.
+func (s *Snapshot) MetricsJSON() []byte {
+	return append([]byte(nil), s.metricsJSON...)
+}
+
+// Diags returns a copy of the frozen diagnostics.
+func (s *Snapshot) Diags() []lint.Diag {
+	if s.diags == nil {
+		return nil
+	}
+	return append([]lint.Diag(nil), s.diags...)
+}
+
+// Reports returns a copy of the frozen per-loop report list (the reports
+// themselves are shared and read-only).
+func (s *Snapshot) Reports() []*parallel.LoopReport {
+	return append([]*parallel.LoopReport(nil), s.reports...)
+}
+
+// Cost estimates the bytes a cached snapshot retains: the frozen strings
+// and documents it holds directly, plus a per-line charge for the shared
+// program, semantic info and analysis structures kept alive through res.
+// It is an estimate — the rescache byte budget is approximate by design.
+func (s *Snapshot) Cost() int64 {
+	c := int64(len(s.summary)) + int64(len(s.metricsJSON))
+	c += int64(len(s.diags)) * 512
+	c += int64(len(s.reports)) * 256
+	c += int64(s.loc) * 1024 // AST + sem.Info + HCG + reports, per source line
+	return c + 16<<10        // fixed structural overhead
+}
+
+// Clone returns a fresh per-caller Result over the snapshot's immutable
+// compilation. The clone shares the program, semantic info, mod info and
+// reports (read-only); its Recorder is nil — a caller that wants run
+// telemetry attaches its own recorder before Run/RunContext, keeping
+// per-request event streams out of the shared snapshot.
+func (s *Snapshot) Clone() *Result {
+	c := *s.res
+	c.Recorder = nil
+	return &c
+}

@@ -1,0 +1,113 @@
+package pipeline
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+func snapshotOf(t *testing.T, opts Options) *Snapshot {
+	t.Helper()
+	k, err := kernels.ByName("trfd", kernels.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CompileOpts(k.Source, parallel.Full, Reorganized, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := res.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestSnapshotImmutable: mutating what the accessors return must not leak
+// back into the snapshot — that is the whole point of caching one.
+func TestSnapshotImmutable(t *testing.T) {
+	snap := snapshotOf(t, Options{Recorder: obs.New(), Lint: true})
+	metrics := snap.MetricsJSON()
+	if len(metrics) == 0 {
+		t.Fatal("empty metrics document")
+	}
+	for i := range metrics {
+		metrics[i] = 'X'
+	}
+	if again := snap.MetricsJSON(); bytes.Contains(again, []byte("XXX")) {
+		t.Error("mutating MetricsJSON() leaked into the snapshot")
+	}
+
+	diags := snap.Diags()
+	reports := snap.Reports()
+	if len(reports) == 0 {
+		t.Fatal("trfd produced no loop reports")
+	}
+	if len(diags) > 0 {
+		diags[0] = diags[len(diags)-1]
+	}
+	reports[0] = nil
+	if got := snap.Reports(); got[0] == nil {
+		t.Error("mutating Reports() leaked into the snapshot")
+	}
+	if snap.Cost() <= 16<<10 {
+		t.Errorf("Cost() = %d, want more than the fixed overhead", snap.Cost())
+	}
+}
+
+// TestSnapshotCloneIndependence: clones share the read-only compilation
+// but never a Recorder, and the snapshot's frozen document is unaffected
+// by whatever a clone's recorder later absorbs.
+func TestSnapshotCloneIndependence(t *testing.T) {
+	snap := snapshotOf(t, Options{Recorder: obs.New()})
+	frozen := snap.MetricsJSON()
+
+	a, b := snap.Clone(), snap.Clone()
+	if a == b {
+		t.Fatal("Clone returned the same *Result twice")
+	}
+	if a.Recorder != nil || b.Recorder != nil {
+		t.Fatal("clone inherited the snapshot's Recorder")
+	}
+	a.Recorder = obs.New()
+	a.Recorder.Count("clone.private", 1)
+	if b.Recorder != nil {
+		t.Error("recorder attached to one clone is visible on another")
+	}
+	if !bytes.Equal(frozen, snap.MetricsJSON()) {
+		t.Error("snapshot document changed after a clone attached a recorder")
+	}
+	if a.Program != b.Program {
+		t.Error("clones do not share the compiled program")
+	}
+}
+
+// TestSnapshotConcurrentReaders hits one snapshot's accessors and Clone
+// from many goroutines; run with -race. (End-to-end concurrent execution
+// of clones is covered at the public-API layer, where Run lives.)
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	snap := snapshotOf(t, Options{Recorder: obs.New()})
+	want := snap.MetricsJSON()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if !bytes.Equal(snap.MetricsJSON(), want) {
+					t.Error("MetricsJSON changed under concurrency")
+					return
+				}
+				c := snap.Clone()
+				c.Recorder = obs.New()
+				_ = snap.Summary()
+				_ = snap.Reports()
+			}
+		}()
+	}
+	wg.Wait()
+}

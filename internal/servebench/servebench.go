@@ -1,0 +1,327 @@
+package servebench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// ServeLoadReportSchema identifies the JSON layout of the irrd
+// cache/coalescing measurement document (BENCH_cache.json).
+const ServeLoadReportSchema = "irr-servecache/1"
+
+// ServeLoadReport records the cold-vs-warm latency of irrd's
+// cross-request compilation cache, the coalescing behaviour under a
+// concurrent identical burst, and the byte-identity check of cached
+// responses — the payload of `irrbench -serve-load`.
+type ServeLoadReport struct {
+	Schema      string `json:"schema"`
+	Kernel      string `json:"kernel"`
+	Requests    int    `json:"requests"`
+	Concurrency int    `json:"concurrency"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	// Cold: every request compiles (cache disabled).
+	ColdRequests int   `json:"cold_requests"`
+	ColdP50Ns    int64 `json:"cold_p50_ns"`
+	ColdP99Ns    int64 `json:"cold_p99_ns"`
+
+	// Warm: cache enabled and primed; every request is a hit.
+	WarmP50Ns         int64   `json:"warm_p50_ns"`
+	WarmP99Ns         int64   `json:"warm_p99_ns"`
+	WarmThroughputRPS float64 `json:"warm_throughput_rps"`
+	SpeedupP50        float64 `json:"speedup_p50_x"`
+
+	// Cache counters after the warm phase.
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	HitRate     float64 `json:"hit_rate"`
+
+	// Coalescing: a burst of identical requests against an empty cache.
+	BurstSize     int     `json:"burst_size"`
+	Coalesced     int64   `json:"coalesced"`
+	CoalescedRate float64 `json:"coalesced_rate"`
+	BurstCompiles int64   `json:"burst_compiles"`
+	ByteIdentical bool    `json:"byte_identical"`
+	ResponseBytes int     `json:"response_bytes"`
+}
+
+// serveClient drives one irrd instance over its httptest listener. It
+// keeps its own connection pool, sized so a concurrent burst does not
+// serialize on dials.
+type serveClient struct {
+	ts   *httptest.Server
+	hc   *http.Client
+	body string
+}
+
+func newServeClient(cacheBytes int64, kernel string) *serveClient {
+	srv := server.New(server.Config{CacheBytes: cacheBytes})
+	return &serveClient{
+		ts: httptest.NewServer(srv),
+		hc: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        512,
+			MaxIdleConnsPerHost: 512,
+		}},
+		body: fmt.Sprintf(`{"kernel":%q}`, kernel),
+	}
+}
+
+func (c *serveClient) close() {
+	c.hc.CloseIdleConnections()
+	c.ts.Close()
+}
+
+// compileOnce posts one compile request and returns its latency and body.
+// An empty body posts the client's default kernel request.
+func (c *serveClient) compileOnce(reqID, body string) (time.Duration, []byte, error) {
+	if body == "" {
+		body = c.body
+	}
+	req, err := http.NewRequest("POST", c.ts.URL+"/v1/compile", strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set("X-Request-Id", reqID)
+	}
+	t0 := time.Now()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	d := time.Since(t0)
+	if err != nil {
+		return 0, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil, fmt.Errorf("compile: status %d: %s", resp.StatusCode, data)
+	}
+	return d, data, nil
+}
+
+// counters reads the irrd-metrics/2 JSON document's counter map.
+func (c *serveClient) counters() (map[string]int64, error) {
+	req, err := http.NewRequest("GET", c.ts.URL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return doc.Counters, nil
+}
+
+// fanOut issues n requests over conc workers and returns the sorted
+// per-request latencies plus the wall-clock of the whole run.
+func (c *serveClient) fanOut(n, conc int) ([]time.Duration, time.Duration, error) {
+	if conc > n {
+		conc = n
+	}
+	lat := make([]time.Duration, n)
+	errs := make([]error, conc)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				d, _, err := c.compileOnce("", "")
+				if err != nil {
+					errs[w] = err
+					continue
+				}
+				lat[i] = d
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	wall := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat, wall, nil
+}
+
+func pct(sorted []time.Duration, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return int64(sorted[i])
+}
+
+// MeasureServeLoad boots throwaway irrd instances and measures the
+// cross-request cache end to end: cold latency (cache off), warm latency
+// and throughput (cache primed), the coalescing rate of a concurrent
+// identical burst against an empty cache, and whether a cached response
+// is byte-identical to the original. requests < 1 defaults to 500,
+// conc < 1 to 2*GOMAXPROCS. The cold phase is capped at 100 requests —
+// it exists to anchor the speedup, not to burn CPU.
+func MeasureServeLoad(kernel string, requests, conc int) (*ServeLoadReport, error) {
+	if requests < 1 {
+		requests = 500
+	}
+	if conc < 1 {
+		conc = 2 * runtime.GOMAXPROCS(0)
+	}
+	rep := &ServeLoadReport{
+		Schema:      ServeLoadReportSchema,
+		Kernel:      kernel,
+		Requests:    requests,
+		Concurrency: conc,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	// Cold: every request compiles.
+	cold := newServeClient(-1, kernel)
+	rep.ColdRequests = requests
+	if rep.ColdRequests > 100 {
+		rep.ColdRequests = 100
+	}
+	lat, _, err := cold.fanOut(rep.ColdRequests, conc)
+	cold.close()
+	if err != nil {
+		return nil, fmt.Errorf("cold phase: %w", err)
+	}
+	rep.ColdP50Ns, rep.ColdP99Ns = pct(lat, 0.50), pct(lat, 0.99)
+
+	// Warm: prime once, then every request hits.
+	warm := newServeClient(0, kernel)
+	defer warm.close()
+	if _, _, err := warm.compileOnce("", ""); err != nil {
+		return nil, fmt.Errorf("warm prime: %w", err)
+	}
+	lat, wall, err := warm.fanOut(requests, conc)
+	if err != nil {
+		return nil, fmt.Errorf("warm phase: %w", err)
+	}
+	rep.WarmP50Ns, rep.WarmP99Ns = pct(lat, 0.50), pct(lat, 0.99)
+	rep.WarmThroughputRPS = float64(requests) / wall.Seconds()
+	if rep.WarmP50Ns > 0 {
+		rep.SpeedupP50 = float64(rep.ColdP50Ns) / float64(rep.WarmP50Ns)
+	}
+	cnt, err := warm.counters()
+	if err != nil {
+		return nil, err
+	}
+	rep.CacheHits = cnt["rescache_hits_total"]
+	rep.CacheMisses = cnt["rescache_misses_total"]
+	if total := rep.CacheHits + rep.CacheMisses; total > 0 {
+		rep.HitRate = float64(rep.CacheHits) / float64(total)
+	}
+
+	// Byte-identity: a fixed request ID makes the only legitimate
+	// response difference disappear; the cached body must match the
+	// fresh one exactly.
+	fresh := newServeClient(0, kernel)
+	defer fresh.close()
+	_, first, err := fresh.compileOnce("irr-servecache", "")
+	if err != nil {
+		return nil, err
+	}
+	_, second, err := fresh.compileOnce("irr-servecache", "")
+	if err != nil {
+		return nil, err
+	}
+	rep.ByteIdentical = string(first) == string(second)
+	rep.ResponseBytes = len(first)
+
+	// Coalescing: one concurrent identical burst against a key the cache
+	// has never seen. The bundled kernels compile in single-digit
+	// milliseconds — too narrow a window for followers to reliably arrive
+	// in-flight on a loaded single-core host — so the burst compiles a
+	// synthetic many-loop program whose interprocedural analysis takes
+	// long enough that every follower parks on the leader's flight. The
+	// kernel requests beforehand fill the connection pool, so the burst
+	// itself does not serialize on TCP dials.
+	burst := newServeClient(0, kernel)
+	defer burst.close()
+	rep.BurstSize = conc * 4
+	var wg sync.WaitGroup
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			burst.compileOnce("", "") //nolint:errcheck // pool warm-up only
+		}()
+	}
+	wg.Wait()
+	heavy, err := json.Marshal(map[string]string{"src": burstSource(50)})
+	if err != nil {
+		return nil, err
+	}
+	burstErrs := make([]error, rep.BurstSize)
+	for i := 0; i < rep.BurstSize; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, burstErrs[i] = burst.compileOnce("", string(heavy))
+		}()
+	}
+	wg.Wait()
+	for _, err := range burstErrs {
+		if err != nil {
+			return nil, fmt.Errorf("burst phase: %w", err)
+		}
+	}
+	cnt, err = burst.counters()
+	if err != nil {
+		return nil, err
+	}
+	rep.Coalesced = cnt["rescache_coalesced_total"]
+	rep.BurstCompiles = cnt["rescache_misses_total"] - 1 // minus the kernel warm-up miss
+	rep.CoalescedRate = float64(rep.Coalesced) / float64(rep.BurstSize)
+	return rep, nil
+}
+
+// burstSource generates an F-lite program of `loops` irregular
+// reduction-loop pairs over distinct arrays. Compilation cost grows
+// superlinearly with the loop count (the interprocedural property
+// analysis visits every loop pair), which makes the compile window wide
+// enough for the coalescing measurement: ~200ms at 50 loops on one core.
+func burstSource(loops int) string {
+	var b strings.Builder
+	b.WriteString("program burst\n  param n = 64\n")
+	for i := 0; i < loops; i++ {
+		fmt.Fprintf(&b, "  real a%d(n), b%d(n)\n", i, i)
+	}
+	b.WriteString("  integer i\n  integer x(n)\n")
+	b.WriteString("  do i = 1, n\n    x(i) = mod(i * 7, n) + 1\n  end do\n")
+	for i := 0; i < loops; i++ {
+		fmt.Fprintf(&b, "  do i = 1, n\n    b%d(i) = real(i)\n  end do\n", i)
+		fmt.Fprintf(&b, "  do i = 1, n\n    a%d(x(i)) = a%d(x(i)) + b%d(i)\n  end do\n", i, i, i)
+	}
+	b.WriteString("  print \"done\", a0(1)\nend\n")
+	return b.String()
+}

@@ -1,0 +1,35 @@
+package servebench
+
+import "testing"
+
+// TestMeasureServeLoadSmoke runs a scaled-down measurement end to end and
+// checks the report's structural invariants. The performance assertions
+// (warm >= 5x cold, coalescing observed) live in CI's serve-load step,
+// where the run is long enough for stable numbers.
+func TestMeasureServeLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots several irrd instances")
+	}
+	rep, err := MeasureServeLoad("p3m", 30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ServeLoadReportSchema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.ColdP50Ns <= 0 || rep.WarmP50Ns <= 0 {
+		t.Errorf("non-positive percentiles: cold p50 %d, warm p50 %d", rep.ColdP50Ns, rep.WarmP50Ns)
+	}
+	if rep.CacheHits < int64(rep.Requests) {
+		t.Errorf("cache hits = %d, want >= %d (warm phase is all hits)", rep.CacheHits, rep.Requests)
+	}
+	if !rep.ByteIdentical {
+		t.Error("cached response was not byte-identical to the original")
+	}
+	if rep.Coalesced+rep.BurstCompiles < 1 {
+		t.Errorf("burst accounted for nothing: coalesced %d, compiles %d", rep.Coalesced, rep.BurstCompiles)
+	}
+	if rep.WarmThroughputRPS <= 0 {
+		t.Errorf("throughput = %v", rep.WarmThroughputRPS)
+	}
+}

@@ -2,12 +2,14 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"log/slog"
 	"net/http"
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -134,9 +136,11 @@ func TestCompileTrace(t *testing.T) {
 }
 
 // Finished compilations are absorbed into the process recorder: /metrics
-// aggregates per-phase latency histograms across requests.
+// aggregates per-phase latency histograms across requests. Cache off, so
+// every request really compiles (a cache hit compiles nothing and has
+// nothing to absorb — that path is covered in cache_test.go).
 func TestMetricsAggregateAcrossRequests(t *testing.T) {
-	s, ts := newTestServer(t, Config{})
+	s, ts := newTestServer(t, Config{CacheBytes: -1})
 	for i := 0; i < 2; i++ {
 		if resp := post(t, ts, "/v1/compile", compileRequest{Kernel: "trfd"}, nil); resp.StatusCode != 200 {
 			t.Fatalf("compile %d: status %d", i, resp.StatusCode)
@@ -168,5 +172,49 @@ func TestMetricsAggregateAcrossRequests(t *testing.T) {
 	}
 	if endpointCount < 2 {
 		t.Errorf("compile endpoint histogram count = %v, want >= 2", endpointCount)
+	}
+}
+
+// TestAdmissionQueueDepthGauge is the regression test for the queue-depth
+// gauge counting every admitted request: an instantly-admitted request
+// must not touch the gauge at all (the counter name stays absent from the
+// snapshot), and a parked request registers exactly while it waits.
+func TestAdmissionQueueDepthGauge(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxConcurrent: 1, AdmitTimeout: 5 * time.Second})
+
+	// Fast path: capacity is free, so admission is immediate and the gauge
+	// is never written — Counters only snapshots touched names.
+	release, err := s.admit(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, present := s.rec.Counters()["irrd_admission_queue_depth"]; present {
+		t.Error("uncontended admit touched irrd_admission_queue_depth")
+	}
+
+	// Slow path: with the semaphore held, a second admit must park and the
+	// gauge must read 1 exactly while it does.
+	admitted := make(chan error, 1)
+	go func() {
+		r2, err := s.admit(context.Background(), 1)
+		if err == nil {
+			r2()
+		}
+		admitted <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.rec.Counter("irrd_admission_queue_depth") != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("gauge = %d while a request is parked, want 1",
+				s.rec.Counter("irrd_admission_queue_depth"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	if err := <-admitted; err != nil {
+		t.Fatalf("parked admit failed: %v", err)
+	}
+	if got := s.rec.Counter("irrd_admission_queue_depth"); got != 0 {
+		t.Errorf("gauge = %d after the queue drained, want 0", got)
 	}
 }

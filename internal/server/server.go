@@ -7,6 +7,19 @@
 // steps), and isolation (a panic inside one request's compilation becomes
 // that request's 500 without taking down the server).
 //
+// The compiler is deterministic, so the server keeps a cross-request
+// compilation cache (internal/rescache): responses for identical
+// (source, mode, options) requests come from a frozen snapshot of the
+// first compilation, concurrent identical requests coalesce onto one
+// compile (single-flight), and an LRU byte budget bounds the resident
+// set. Every response carries an X-Irrd-Cache header (hit / miss /
+// coalesced / bypass); debug-level explain/trace requests bypass the
+// cache because their responses embed per-request event streams. Cache
+// traffic is visible on /metrics as rescache_hits_total,
+// rescache_misses_total, rescache_coalesced_total,
+// rescache_evictions_total and the rescache_bytes / rescache_entries
+// gauges.
+//
 // Endpoints:
 //
 //	POST /v1/compile  compile a program; the response embeds the
@@ -47,6 +60,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -54,13 +68,16 @@ import (
 	"repro/internal/comperr"
 	"repro/internal/lint"
 	"repro/internal/obs"
+	"repro/internal/rescache"
 )
 
 // Config bounds the service; the zero value gets sensible defaults.
 type Config struct {
 	// MaxConcurrent caps the total admission weight of in-flight
-	// compilations (default GOMAXPROCS). A compile weighs 1; a run weighs
-	// 2 (compile + simulated execution).
+	// compilations (default GOMAXPROCS). A compile weighs 1; a lint
+	// weighs 2 (the audit replays the program); a run admits per stage —
+	// 1 for the compile (skipped on a cache hit) and 1 for the simulated
+	// execution — so cached runs only consume execution capacity.
 	MaxConcurrent int
 	// MaxSourceBytes rejects larger programs with 413 (default 1 MiB).
 	// It also bounds the accepted request body.
@@ -80,6 +97,13 @@ type Config struct {
 	// MaxOutputBytes truncates a run's PRINT output in the response
 	// (default 64 KiB).
 	MaxOutputBytes int
+	// CacheBytes is the byte budget of the cross-request compilation
+	// cache (default 256 MiB; <0 disables the cache). The compiler is
+	// deterministic, so identical (source, mode, options) requests are
+	// answered from a frozen snapshot of the first compilation;
+	// concurrent identical requests coalesce onto a single compile.
+	// Debug-level requests (explain/trace) always bypass it.
+	CacheBytes int64
 	// EnablePprof mounts the runtime profiling handlers under
 	// /debug/pprof/. Off by default: the profiles expose internals, so the
 	// operator opts in (irrd -pprof).
@@ -119,16 +143,22 @@ func (c Config) withDefaults() Config {
 	if c.MaxOutputBytes <= 0 {
 		c.MaxOutputBytes = 64 << 10
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	} else if c.CacheBytes < 0 {
+		c.CacheBytes = 0
+	}
 	return c
 }
 
 // Server is the irrd service. Construct with New; it is an http.Handler.
 type Server struct {
-	cfg Config
-	sem *weighted
-	rec *obs.Recorder // process-wide telemetry: lock-free counters + histograms, shared across requests
-	log *slog.Logger
-	mux *http.ServeMux
+	cfg   Config
+	sem   *weighted
+	rec   *obs.Recorder                        // process-wide telemetry: lock-free counters + histograms, shared across requests
+	cache *rescache.Cache[*irregular.Snapshot] // cross-request compilation cache; nil when disabled
+	log   *slog.Logger
+	mux   *http.ServeMux
 
 	// compile is the compilation entry point, a field so tests can inject
 	// failure modes (panics, hangs) without crafting pathological source.
@@ -148,6 +178,13 @@ func New(cfg Config) *Server {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s.sem = newWeighted(int64(s.cfg.MaxConcurrent))
+	if s.cfg.CacheBytes > 0 {
+		s.cache = rescache.New(rescache.Config[*irregular.Snapshot]{
+			MaxBytes: s.cfg.CacheBytes,
+			Cost:     func(snap *irregular.Snapshot) int64 { return snap.Cost() },
+			Rec:      s.rec,
+		})
+	}
 	s.mux.HandleFunc("POST /v1/compile", s.guard("compile", s.handleCompile))
 	s.mux.HandleFunc("POST /v1/run", s.guard("run", s.handleRun))
 	s.mux.HandleFunc("POST /v1/lint", s.guard("lint", s.handleLint))
@@ -243,11 +280,13 @@ func (s *Server) admit(ctx context.Context, weight int64) (release func(), err e
 		if !s.sem.TryAcquire(weight) {
 			return nil, errCapacity
 		}
-	} else {
+	} else if !s.sem.TryAcquire(weight) {
+		// Slow path only: the request actually has to park. The
+		// queue-depth gauge covers just the parked wait, so a scrape
+		// under light load reports zero instead of phantom queueing from
+		// instantly-admitted requests.
 		actx, cancel := context.WithTimeout(ctx, s.cfg.AdmitTimeout)
 		defer cancel()
-		// The queue-depth gauge covers the whole Acquire, so a scrape during
-		// a capacity squeeze sees how many requests are parked.
 		s.rec.Count("irrd_admission_queue_depth", 1)
 		defer s.rec.Count("irrd_admission_queue_depth", -1)
 		if err := s.sem.Acquire(actx, weight); err != nil {
@@ -387,6 +426,68 @@ func (s *Server) options(req *compileRequest, requestID string) (irregular.Optio
 	return opts, nil
 }
 
+// cacheHeader reports how the cross-request cache satisfied a request:
+// "hit", "miss", "coalesced" or "bypass" (debug-level or cache disabled).
+const cacheHeader = "X-Irrd-Cache"
+
+// cacheKey derives the content-addressed key of a compilation: the
+// resolved source text plus every request option that changes the
+// compiled output or the response document, and the server's query-step
+// budget (a different budget can turn a success into a 413). Telemetry
+// level, request IDs and run options are deliberately excluded — they
+// never change what the compiler produces (debug-level requests bypass
+// the cache entirely).
+func (s *Server) cacheKey(req *compileRequest, lint bool) rescache.Key {
+	mode := strings.ToLower(req.Mode)
+	if mode == "" {
+		mode = "full"
+	}
+	return rescache.KeyOf(
+		"irr-metrics/1", // response-schema guard: bump-safe across deploys
+		req.Src,
+		mode,
+		strconv.FormatBool(req.Intraprocedural),
+		strconv.FormatBool(req.Interchange),
+		strconv.FormatBool(lint),
+		strconv.Itoa(s.cfg.MaxQuerySteps),
+	)
+}
+
+// compileSnapshot resolves a compile request to an immutable snapshot,
+// through the cross-request cache when it applies. Admission happens
+// inside the compute path, so a cache hit is admission-free and coalesced
+// waiters do not hold semaphore slots while parked (which could deadlock
+// a leader waiting for admission against followers holding every slot).
+// The compilation's telemetry is absorbed into the process recorder on
+// every path where the compile itself succeeded — including when a later
+// stage (snapshotting, the caller's run) fails.
+func (s *Server) compileSnapshot(ctx context.Context, req *compileRequest, opts irregular.Options, weight int64) (*irregular.Snapshot, string, error) {
+	compute := func() (*irregular.Snapshot, error) {
+		release, err := s.admit(ctx, weight)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		res, err := s.compile(ctx, req.Src, opts)
+		if err != nil {
+			return nil, err
+		}
+		// The compilation did real analysis work: its phase histograms
+		// and counters reach /metrics even if snapshotting fails.
+		s.rec.Absorb(res.Recorder)
+		return res.Snapshot()
+	}
+	if s.cache == nil || opts.Trace {
+		snap, err := compute()
+		return snap, "bypass", err
+	}
+	// A waiter abandoning a flight on its own context returns a bare
+	// context error; comperr.KindOf classifies those as ErrCanceled, so
+	// statusOf maps them to 504 like any pre-typed compute error.
+	snap, out, err := s.cache.Do(ctx, s.cacheKey(req, opts.Lint), compute)
+	return snap, out.String(), err
+}
+
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.rec.Count("irrd_compile_total", 1)
 	var req compileRequest
@@ -401,41 +502,61 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	release, err := s.admit(ctx, 1)
-	if err != nil {
-		s.fail(w, err)
-		return
-	}
-	defer release()
 
-	res, err := s.compile(ctx, req.Src, opts)
-	if err != nil {
-		s.fail(w, err)
-		return
-	}
-	s.rec.Absorb(res.Recorder)
-	metrics, err := res.SummaryJSON()
-	if err != nil {
-		s.fail(w, err)
-		return
-	}
-	resp := compileResponse{
-		Summary:   res.Summary(),
-		Metrics:   metrics,
-		RequestID: r.Header.Get(requestIDHeader),
-	}
-	if req.Explain {
-		resp.Explain = res.Explain()
-	}
-	if req.Trace {
-		var buf bytes.Buffer
-		if err := obs.WriteChromeTrace(&buf, res.Recorder.Events()); err != nil {
+	if req.Explain || req.Trace {
+		// Debug-level compile: the response embeds the recorder's event
+		// stream, which is per-request by nature — bypass the cache.
+		release, err := s.admit(ctx, 1)
+		if err != nil {
 			s.fail(w, err)
 			return
 		}
-		resp.Trace = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+		defer release()
+		res, err := s.compile(ctx, req.Src, opts)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		// Absorbed before the response is built, so the compilation's
+		// telemetry survives a SummaryJSON failure.
+		s.rec.Absorb(res.Recorder)
+		metrics, err := res.SummaryJSON()
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		resp := compileResponse{
+			Summary:   res.Summary(),
+			Metrics:   metrics,
+			RequestID: r.Header.Get(requestIDHeader),
+		}
+		if req.Explain {
+			resp.Explain = res.Explain()
+		}
+		if req.Trace {
+			var buf bytes.Buffer
+			if err := obs.WriteChromeTrace(&buf, res.Recorder.Events()); err != nil {
+				s.fail(w, err)
+				return
+			}
+			resp.Trace = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+		}
+		w.Header().Set(cacheHeader, "bypass")
+		writeJSON(w, http.StatusOK, resp)
+		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+
+	snap, outcome, err := s.compileSnapshot(ctx, &req, opts, 1)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set(cacheHeader, outcome)
+	writeJSON(w, http.StatusOK, compileResponse{
+		Summary:   snap.Summary(),
+		Metrics:   snap.MetricsJSON(),
+		RequestID: r.Header.Get(requestIDHeader),
+	})
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -460,18 +581,31 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	release, err := s.admit(ctx, 2)
+
+	// The compilation half goes through the cross-request cache: a warm
+	// run skips straight to execution. The run half is always per-request
+	// — it admits its own weight and executes on a Clone of the immutable
+	// snapshot with a fresh recorder, so concurrent runs of one cached
+	// compilation never share mutable state.
+	snap, outcome, err := s.compileSnapshot(ctx, &req.compileRequest, opts, 1)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set(cacheHeader, outcome)
+	release, err := s.admit(ctx, 1)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	defer release()
 
-	res, err := s.compile(ctx, req.Src, opts)
-	if err != nil {
-		s.fail(w, err)
-		return
-	}
+	res := snap.Clone()
+	res.Recorder = obs.New()
+	// Absorbed on success and on run failure alike: the run did simulated
+	// work either way, and the compile's own telemetry was already
+	// absorbed when it actually compiled (not on cache hits).
+	defer s.rec.Absorb(res.Recorder)
 	var out limitedBuffer
 	out.max = s.cfg.MaxOutputBytes
 	rr, err := res.RunContext(ctx, irregular.RunOptions{
@@ -485,14 +619,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	// Absorbed after the run so the machine.loop.* counters are included.
-	s.rec.Absorb(res.Recorder)
 	writeJSON(w, http.StatusOK, runResponse{
 		Time:            rr.Time,
 		ParallelRegions: rr.ParallelRegions,
 		Output:          out.String(),
 		OutputTruncated: out.truncated,
-		Summary:         res.Summary(),
+		Summary:         snap.Summary(),
 	})
 }
 
@@ -520,22 +652,16 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	opts.Lint = true
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	// Weight 2, like /v1/run: the audit replays the program on the
-	// simulated machine.
-	release, err := s.admit(ctx, 2)
+	// Weight 2, like a cold /v1/run: the audit replays the program on the
+	// simulated machine. Lint compilations cache under their own key
+	// (opts.Lint is part of the derivation).
+	snap, outcome, err := s.compileSnapshot(ctx, &req, opts, 2)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	defer release()
-
-	res, err := s.compile(ctx, req.Src, opts)
-	if err != nil {
-		s.fail(w, err)
-		return
-	}
-	s.rec.Absorb(res.Recorder)
-	diags := res.Diags
+	w.Header().Set(cacheHeader, outcome)
+	diags := snap.Diags()
 	if diags == nil {
 		diags = []irregular.Diag{}
 	}
@@ -565,10 +691,16 @@ func (s *Server) handleKernels(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":   "ok",
 		"inflight": s.rec.Counter("irrd_inflight"),
-	})
+	}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		body["cache_entries"] = st.Entries
+		body["cache_bytes"] = st.Bytes
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleMetrics serves the process-wide telemetry. The default response is

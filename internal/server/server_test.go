@@ -124,10 +124,10 @@ func TestRunRoundTrip(t *testing.T) {
 func TestErrorStatuses(t *testing.T) {
 	_, ts := newTestServer(t, Config{MaxSourceBytes: 512})
 	cases := []struct {
-		name     string
-		body     any
-		status   int
-		kind     string
+		name   string
+		body   any
+		status int
+		kind   string
 	}{
 		{"parse error", compileRequest{Src: "program p\n  this is not f-lite\nend\n"}, http.StatusBadRequest, "parse"},
 		{"bad json", "not json", http.StatusBadRequest, "parse"},
@@ -215,8 +215,11 @@ func TestAdmissionControl(t *testing.T) {
 	}()
 	<-entered
 
+	// A *different* source, so the request contends for admission instead
+	// of coalescing onto the blocked compile's flight.
+	other := demoSrc + "! distinct cache key\n"
 	var env errEnvelope
-	resp := post(t, ts, "/v1/compile", compileRequest{Src: demoSrc}, &env)
+	resp := post(t, ts, "/v1/compile", compileRequest{Src: other}, &env)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", resp.StatusCode)
 	}

@@ -180,6 +180,47 @@ func (r *Result) BoundsChecks() *boundscheck.Result {
 	return r.bounds
 }
 
+// Snapshot is an immutable, shareable view of a finished compilation: the
+// frozen summary, irr-metrics/1 document and diagnostics. Snapshots are
+// safe to share across goroutines and requests — the irrd cross-request
+// cache stores one snapshot per distinct compilation — and Clone hands
+// each caller an independent Result for per-request work (running on the
+// simulated machine, bounds-check analysis) without touching shared state.
+type Snapshot struct {
+	s *pipeline.Snapshot
+}
+
+// Snapshot freezes the compilation. See pipeline.Snapshot for the
+// immutability contract.
+func (r *Result) Snapshot() (*Snapshot, error) {
+	s, err := r.Result.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{s: s}, nil
+}
+
+// Summary returns the frozen human-readable compilation report.
+func (s *Snapshot) Summary() string { return s.s.Summary() }
+
+// MetricsJSON returns a copy of the frozen irr-metrics/1 document.
+func (s *Snapshot) MetricsJSON() []byte { return s.s.MetricsJSON() }
+
+// Diags returns a copy of the frozen diagnostics.
+func (s *Snapshot) Diags() []Diag { return s.s.Diags() }
+
+// Cost estimates the snapshot's retained bytes (for cache byte budgets).
+func (s *Snapshot) Cost() int64 { return s.s.Cost() }
+
+// Clone returns a fresh per-caller Result over the snapshot's immutable
+// compilation: the program, semantic info and reports are shared
+// (read-only); the Recorder is nil and the bounds-check analysis is
+// recomputed lazily per clone, so concurrent clones never share mutable
+// state.
+func (s *Snapshot) Clone() *Result {
+	return &Result{Result: s.s.Clone()}
+}
+
 // Compile parses, transforms, analyzes and parallelizes an F-lite program.
 // It is CompileContext with a background context: no deadline, no
 // cancellation, no limits beyond opts.Limits.

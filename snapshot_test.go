@@ -1,0 +1,56 @@
+package irregular
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSnapshotCloneRuns executes many clones of one cached snapshot
+// concurrently through the public API; run with -race. This is the
+// contract the irrd cross-request cache relies on: a snapshot's
+// compilation is read-only, so clones may run simultaneously, each with
+// its own recorder and its own lazily computed bounds-check state.
+func TestSnapshotCloneRuns(t *testing.T) {
+	res, err := Compile(demoSrc, Options{Telemetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := res.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	times := make([]uint64, 8)
+	for i := 0; i < len(times); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := snap.Clone()
+			rr, err := c.Run(RunOptions{Processors: 4})
+			if err != nil {
+				t.Errorf("clone %d: %v", i, err)
+				return
+			}
+			times[i] = rr.Time
+			// Each clone computes its own bounds-check analysis.
+			if bc := c.BoundsChecks(); bc == nil {
+				t.Errorf("clone %d: nil bounds-check result", i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < len(times); i++ {
+		if times[i] != times[0] {
+			t.Fatalf("clone runs diverged: times[%d]=%d, times[0]=%d", i, times[i], times[0])
+		}
+	}
+
+	// The frozen document survives everything the clones did.
+	again, err := res.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Summary() != again.Summary() {
+		t.Error("summary drifted across snapshots of the same result")
+	}
+}
