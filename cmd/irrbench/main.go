@@ -6,16 +6,18 @@
 //
 //	irrbench [-size small|default|large] [-procs 1,2,4,8,16,32] [-table2] [-table3] [-fig16]
 //	irrbench -metrics out.json [-jobs N]
-//	irrbench -parallel-report out.json [-jobs N]
+//	irrbench -scaling-report out.json [-jobs N]
 //	irrbench -expr-report out.json [-jobs N]
 //	irrbench -obs-report out.json [-obs-kernel trfd]
 //	irrbench -serve-load out.json [-load-kernel trfd] [-load-requests N] [-load-conc N]
 //
 // With no selection flags, everything is printed. -metrics additionally
 // writes one machine-readable metrics document per kernel ("-": stdout);
-// the kernels compile as a batch over -jobs workers. -parallel-report
-// measures the batch serial vs parallel and with the property-query cache
-// cold vs warm, and writes the irr-parallel/1 JSON document ("-": stdout).
+// the kernels compile as a batch over -jobs workers. -scaling-report
+// sweeps the duplicated kernel batch across worker counts and compares the
+// shared analysis cache against private per-item caches (wall clock,
+// allocations, hit rates, determinism), and writes the irr-parallel/2 JSON
+// document ("-": stdout); -parallel-report is its deprecated spelling.
 // -expr-report measures the expression-interner microbenchmarks and the
 // intern-on/intern-off batch, and writes the irr-expr/1 JSON document.
 // -obs-report measures the telemetry configurations (baseline, off, the
@@ -54,7 +56,8 @@ func main() {
 	f16 := flag.Bool("fig16", false, "print Fig. 16 only")
 	metrics := flag.String("metrics", "", "write per-kernel metrics JSON to this path (\"-\" for stdout)")
 	jobs := flag.Int("jobs", 0, "worker pool size for batch compilation (0: GOMAXPROCS)")
-	parReport := flag.String("parallel-report", "", "measure serial-vs-parallel and cold-vs-warm cache; write JSON to this path (\"-\" for stdout)")
+	scalingReport := flag.String("scaling-report", "", "sweep -jobs and compare shared vs private analysis caches; write JSON to this path (\"-\" for stdout)")
+	parReport := flag.String("parallel-report", "", "deprecated spelling of -scaling-report")
 	exprReport := flag.String("expr-report", "", "measure expression interning (micro + end-to-end); write JSON to this path (\"-\" for stdout)")
 	obsReport := flag.String("obs-report", "", "measure telemetry overhead (baseline/off/on/debug); write JSON to this path (\"-\" for stdout)")
 	obsKernel := flag.String("obs-kernel", "trfd", "kernel for -obs-report")
@@ -128,8 +131,11 @@ func main() {
 		}
 		writeOut(*metrics, append(data, '\n'))
 	}
-	if *parReport != "" {
-		rep, err := bench.MeasureParallel(sz, *jobs, 0)
+	if *scalingReport == "" {
+		*scalingReport = *parReport
+	}
+	if *scalingReport != "" {
+		rep, err := bench.MeasureScaling(sz, *jobs, 0)
 		if err != nil {
 			fail(err)
 		}
@@ -137,7 +143,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		writeOut(*parReport, append(data, '\n'))
+		writeOut(*scalingReport, append(data, '\n'))
 	}
 	if *exprReport != "" {
 		rep, err := bench.MeasureExpr(sz, *jobs, 0)
@@ -172,7 +178,7 @@ func main() {
 		}
 		writeOut(*serveLoad, append(data, '\n'))
 	}
-	anyReport := *metrics != "" || *parReport != "" || *exprReport != "" || *obsReport != "" || *serveLoad != ""
+	anyReport := *metrics != "" || *scalingReport != "" || *exprReport != "" || *obsReport != "" || *serveLoad != ""
 	if anyReport && !*t2 && !*t3 && !*f16 {
 		return
 	}

@@ -72,6 +72,8 @@ func exprMicroPairs() []struct {
 		{"equal/interned", microEqualInterned},
 		{"string/legacy", microStringLegacy},
 		{"string/interned", microStringInterned},
+		{"prove-lt/legacy", microProveLTLegacy},
+		{"prove-lt/interned", microProveLTInterned},
 		{"section-key/legacy", microSectionKeyLegacy},
 		{"section-key/interned", microSectionKeyInterned},
 	}

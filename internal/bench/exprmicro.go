@@ -71,6 +71,41 @@ func microStringInterned(b *testing.B) {
 	}
 }
 
+// microProveTriple builds the comparison x < y the dependence tests prove
+// in their hot loop: y is x shifted by a positive symbolic stride.
+func microProveTriple() (*expr.Expr, *expr.Expr, expr.Assumptions) {
+	x, _ := microExprPair()
+	y := x.Add(expr.Var("n")).AddConst(2)
+	return x, y, expr.Assumptions{"n": expr.GT0}
+}
+
+// microProveLTLegacy materializes the difference y-x — a clone-and-merge
+// of both term maps per call — before walking its sign, the shape of the
+// provers before the virtual-difference rewrite.
+func microProveLTLegacy(b *testing.B) {
+	x, y, a := microProveTriple()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !expr.ProveGT0(y.Sub(x), a) {
+			b.Fatal("not provable")
+		}
+	}
+}
+
+// microProveLTInterned proves the same fact through ProveLT's virtual
+// difference: both term maps are walked in place, allocating nothing.
+func microProveLTInterned(b *testing.B) {
+	x, y, a := microProveTriple()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !expr.ProveLT(x, y, a) {
+			b.Fatal("not provable")
+		}
+	}
+}
+
 // microSectionKeyLegacy keys a fresh section whose bounds carry no cached
 // keys: every Key call re-renders both bound expressions.
 func microSectionKeyLegacy(b *testing.B) {

@@ -1,7 +1,7 @@
 package bench
 
 import (
-	"reflect"
+	"fmt"
 	"regexp"
 	"runtime"
 	"time"
@@ -12,57 +12,105 @@ import (
 	"repro/internal/pipeline"
 )
 
-// ParallelReportSchema identifies the JSON layout of the parallel/cache
-// measurement document (BENCH_parallel.json).
-const ParallelReportSchema = "irr-parallel/1"
-
-// ParallelReport records the serial-vs-parallel and cold-vs-warm-cache
-// measurement of one kernel batch — the payload of
-// `irrbench -parallel-report`.
-type ParallelReport struct {
-	Schema string `json:"schema"`
-	// Host shape: on a single-core host SpeedupX near 1.0 is the expected
-	// honest result, so the report always carries the core counts.
-	GOMAXPROCS int `json:"gomaxprocs"`
-	NumCPU     int `json:"num_cpu"`
-	// Jobs is the worker-pool size of the parallel run.
-	Jobs int `json:"jobs"`
-	// SerialNs / ParallelNs are best-of-N wall-clock times for the batch
-	// compiled with one worker and with Jobs workers (cache enabled).
-	SerialNs   int64   `json:"serial_ns"`
-	ParallelNs int64   `json:"parallel_ns"`
-	SpeedupX   float64 `json:"speedup_x"`
-	// ColdCacheNs / WarmCacheNs isolate the property-query memo table:
-	// the same single-worker batch with the cache disabled vs enabled.
-	ColdCacheNs   int64   `json:"cold_cache_ns"`
-	WarmCacheNs   int64   `json:"warm_cache_ns"`
-	CacheSpeedupX float64 `json:"cache_speedup_x"`
-	// Cache counters of the warm run.
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
-	// DeterministicOutput reports whether the -jobs 1 and -jobs N batches
-	// produced identical summaries (durations masked), decision logs and
-	// counters.
-	DeterministicOutput bool `json:"deterministic_output"`
-}
-
 // benchDurations masks rendered durations and percentages, which naturally
 // differ between timed runs of identical compilations.
 var benchDurations = regexp.MustCompile(`\d+(\.\d+)?(ns|µs|ms|s|%)`)
 
-// MeasureParallel compiles the kernel batch repeatedly and reports
-// serial-vs-parallel wall clock, cold-vs-warm cache wall clock, the cache
-// counters, and whether the parallel run's output matched the serial one.
-// jobs < 1 means GOMAXPROCS; iters < 1 means a best-of-5.
-func MeasureParallel(size kernels.Size, jobs, iters int) (*ParallelReport, error) {
+func ratio(num, den time.Duration) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// ScalingReportSchema identifies the JSON layout of the parallelism and
+// shared-cache measurement document (BENCH_parallel.json). Version 2
+// replaces the single-jobs irr-parallel/1 document with a per-jobs sweep
+// and the shared-vs-private analysis-cache comparison.
+const ScalingReportSchema = "irr-parallel/2"
+
+// scalingCopies is how many byte-identical copies of the kernel batch the
+// shared-cache measurement compiles: the workload of a server compiling
+// repeated requests, and what the cross-compilation cache exists for. With
+// c copies, each verdict is proved once and replayed c-1 times, so the
+// ideal shared hit rate is (c-1)/c.
+const scalingCopies = 6
+
+// ScalingPoint is one jobs value of the sweep: the duplicated batch
+// compiled with private per-item caches and with the shared analysis
+// cache, best-of-N wall clock each.
+type ScalingPoint struct {
+	Jobs      int   `json:"jobs"`
+	PrivateNs int64 `json:"private_ns"`
+	SharedNs  int64 `json:"shared_ns"`
+	// Speedups are relative to the same configuration at jobs=1.
+	PrivateSpeedupX float64 `json:"private_speedup_x"`
+	SharedSpeedupX  float64 `json:"shared_speedup_x"`
+}
+
+// ScalingReport records the parallel-scaling and shared-cache measurement
+// of the duplicated kernel batch — the payload of
+// `irrbench -scaling-report` (and of the legacy -parallel-report spelling).
+type ScalingReport struct {
+	Schema string `json:"schema"`
+	// Host shape. On a single-core host parallel speedup cannot
+	// materialize; SingleCoreCaveat flags that sweep points near 1.0x are
+	// the expected honest result there, not a regression.
+	GOMAXPROCS       int  `json:"gomaxprocs"`
+	NumCPU           int  `json:"num_cpu"`
+	SingleCoreCaveat bool `json:"single_core_caveat"`
+	// Copies is the number of byte-identical batch copies compiled (see
+	// scalingCopies); Iters is the best-of repetition count.
+	Copies int `json:"copies"`
+	Iters  int `json:"iters"`
+
+	// Sweep measures every jobs value from 1 up to GOMAXPROCS (always
+	// including 2, so a single-core sweep still shows the oversubscribed
+	// point).
+	Sweep []ScalingPoint `json:"sweep"`
+
+	// The shared-vs-private comparison at Jobs workers: same inputs, same
+	// worker count, the only difference is the cross-compilation cache.
+	Jobs           int     `json:"jobs"`
+	PrivateNs      int64   `json:"private_ns"`
+	SharedNs       int64   `json:"shared_ns"`
+	SharedSpeedupX float64 `json:"shared_speedup_x"`
+	// Allocation deltas over one whole batch (runtime.MemStats deltas,
+	// measured on single-worker runs so the numbers are comparable).
+	PrivateAllocs  int64   `json:"private_allocs"`
+	SharedAllocs   int64   `json:"shared_allocs"`
+	PrivateBytes   int64   `json:"private_bytes"`
+	SharedBytes    int64   `json:"shared_bytes"`
+	AllocReduction float64 `json:"alloc_reduction"`
+	// Shared-table traffic of one shared run.
+	SharedHits    int64   `json:"shared_hits"`
+	SharedMisses  int64   `json:"shared_misses"`
+	SharedHitRate float64 `json:"shared_hit_rate"`
+	InternHits    int64   `json:"intern_hits"`
+	InternMisses  int64   `json:"intern_misses"`
+	// DeterministicAcrossJobs: with sharing on, the -jobs 1 and -jobs 8
+	// batches produced identical summaries (durations masked) and decision
+	// logs. DeterministicSharing: at -jobs 1, sharing on vs off produced
+	// identical summaries and decision logs. Work counters (queries, nodes
+	// visited, intern and shared-table traffic) are not compared: a shared
+	// hit skips the propagation those counters measure, so with duplicated
+	// inputs they differ by design.
+	DeterministicAcrossJobs bool `json:"deterministic_across_jobs"`
+	DeterministicSharing    bool `json:"deterministic_sharing"`
+}
+
+// MeasureScaling compiles the duplicated kernel batch across a jobs sweep
+// and with the shared analysis cache on vs off, and reports wall clock,
+// allocation deltas, shared-table traffic and the determinism checks.
+// jobs < 1 means GOMAXPROCS; iters < 1 means best-of-5.
+func MeasureScaling(size kernels.Size, jobs, iters int) (*ScalingReport, error) {
 	if jobs < 1 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	if iters < 1 {
 		iters = 5
 	}
-	inputs := kernelInputs(size)
+	inputs := dupKernelInputs(size, scalingCopies)
 	compile := func(opts pipeline.Options) (*pipeline.BatchResult, error) {
 		br := pipeline.CompileBatch(inputs, parallel.Full, pipeline.Reorganized, opts)
 		return br, br.Err()
@@ -85,58 +133,151 @@ func MeasureParallel(size kernels.Size, jobs, iters int) (*ParallelReport, error
 		return best, last, nil
 	}
 
-	serialT, serialBR, err := bestOf(pipeline.Options{Jobs: 1})
-	if err != nil {
-		return nil, err
-	}
-	parallelT, _, err := bestOf(pipeline.Options{Jobs: jobs})
-	if err != nil {
-		return nil, err
-	}
-	coldT, _, err := bestOf(pipeline.Options{Jobs: 1, NoPropertyCache: true})
-	if err != nil {
-		return nil, err
+	rep := &ScalingReport{
+		Schema:           ScalingReportSchema,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		NumCPU:           runtime.NumCPU(),
+		SingleCoreCaveat: runtime.GOMAXPROCS(0) == 1 || runtime.NumCPU() == 1,
+		Copies:           scalingCopies,
+		Iters:            iters,
+		Jobs:             jobs,
 	}
 
-	// Determinism: one telemetry-on run per job count, outputs compared.
-	ser, err := compile(pipeline.Options{Jobs: 1, Recorder: obs.New()})
-	if err != nil {
-		return nil, err
+	// The per-jobs sweep, private and shared at each width.
+	var basePrivate, baseShared time.Duration
+	for _, j := range sweepJobs() {
+		pT, _, err := bestOf(pipeline.Options{Jobs: j, NoSharedCache: true})
+		if err != nil {
+			return nil, err
+		}
+		sT, _, err := bestOf(pipeline.Options{Jobs: j})
+		if err != nil {
+			return nil, err
+		}
+		if j == 1 {
+			basePrivate, baseShared = pT, sT
+		}
+		rep.Sweep = append(rep.Sweep, ScalingPoint{
+			Jobs:            j,
+			PrivateNs:       int64(pT),
+			SharedNs:        int64(sT),
+			PrivateSpeedupX: ratio(basePrivate, pT),
+			SharedSpeedupX:  ratio(baseShared, sT),
+		})
 	}
-	par, err := compile(pipeline.Options{Jobs: jobs, Recorder: obs.New()})
-	if err != nil {
-		return nil, err
-	}
-	deterministic := benchDurations.ReplaceAllString(ser.Summary(), "T") ==
-		benchDurations.ReplaceAllString(par.Summary(), "T") &&
-		ser.Explain() == par.Explain() &&
-		reflect.DeepEqual(ser.Counters(), par.Counters())
 
-	st := serialBR.Stats()
-	rep := &ParallelReport{
-		Schema:              ParallelReportSchema,
-		GOMAXPROCS:          runtime.GOMAXPROCS(0),
-		NumCPU:              runtime.NumCPU(),
-		Jobs:                jobs,
-		SerialNs:            int64(serialT),
-		ParallelNs:          int64(parallelT),
-		SpeedupX:            ratio(serialT, parallelT),
-		ColdCacheNs:         int64(coldT),
-		WarmCacheNs:         int64(serialT),
-		CacheSpeedupX:       ratio(coldT, serialT),
-		CacheHits:           int64(st.CacheHits),
-		CacheMisses:         int64(st.CacheMisses),
-		DeterministicOutput: deterministic,
+	// Shared vs private at the requested width.
+	privateT, _, err := bestOf(pipeline.Options{Jobs: jobs, NoSharedCache: true})
+	if err != nil {
+		return nil, err
 	}
-	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
-		rep.CacheHitRate = float64(st.CacheHits) / float64(lookups)
+	sharedT, sharedBR, err := bestOf(pipeline.Options{Jobs: jobs})
+	if err != nil {
+		return nil, err
 	}
+	rep.PrivateNs = int64(privateT)
+	rep.SharedNs = int64(sharedT)
+	rep.SharedSpeedupX = ratio(privateT, sharedT)
+
+	st := sharedBR.Stats()
+	rep.SharedHits, rep.SharedMisses = int64(st.SharedHits), int64(st.SharedMisses)
+	if probes := rep.SharedHits + rep.SharedMisses; probes > 0 {
+		rep.SharedHitRate = float64(rep.SharedHits) / float64(probes)
+	}
+	ist := sharedBR.InternStats()
+	rep.InternHits, rep.InternMisses = ist.Hits, ist.Misses
+
+	// Allocation deltas, single-worker so the two runs do identical work
+	// modulo the cache.
+	rep.PrivateAllocs, rep.PrivateBytes, err = batchAllocs(func() error {
+		br, err := compile(pipeline.Options{Jobs: 1, NoSharedCache: true})
+		_ = br
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.SharedAllocs, rep.SharedBytes, err = batchAllocs(func() error {
+		br, err := compile(pipeline.Options{Jobs: 1})
+		_ = br
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rep.PrivateAllocs > 0 {
+		rep.AllocReduction = 1 - float64(rep.SharedAllocs)/float64(rep.PrivateAllocs)
+	}
+
+	// Determinism: verdict output across job counts with sharing on, and
+	// across the sharing ablation at one worker.
+	s1, err := compile(pipeline.Options{Jobs: 1, Recorder: obs.New()})
+	if err != nil {
+		return nil, err
+	}
+	s8, err := compile(pipeline.Options{Jobs: 8, Recorder: obs.New()})
+	if err != nil {
+		return nil, err
+	}
+	rep.DeterministicAcrossJobs = batchOutput(s1) == batchOutput(s8)
+	p1, err := compile(pipeline.Options{Jobs: 1, Recorder: obs.New(), NoSharedCache: true})
+	if err != nil {
+		return nil, err
+	}
+	rep.DeterministicSharing = batchOutput(s1) == batchOutput(p1)
 	return rep, nil
 }
 
-func ratio(num, den time.Duration) float64 {
-	if den <= 0 {
-		return 0
+// sweepJobs returns 1..GOMAXPROCS (doubling past 8 to keep wide hosts
+// bounded), always including 2 so a single-core sweep still has an
+// oversubscribed point.
+func sweepJobs() []int {
+	maxJobs := runtime.GOMAXPROCS(0)
+	var out []int
+	for j := 1; j <= maxJobs && j <= 8; j++ {
+		out = append(out, j)
 	}
-	return float64(num) / float64(den)
+	for j := 16; j <= maxJobs; j *= 2 {
+		out = append(out, j)
+	}
+	if maxJobs > 8 && out[len(out)-1] != maxJobs {
+		out = append(out, maxJobs)
+	}
+	if maxJobs == 1 {
+		out = append(out, 2)
+	}
+	return out
+}
+
+// dupKernelInputs is the kernel batch repeated n times, copy-tagged names.
+func dupKernelInputs(size kernels.Size, n int) []pipeline.BatchInput {
+	base := kernelInputs(size)
+	var out []pipeline.BatchInput
+	for c := 0; c < n; c++ {
+		for _, in := range base {
+			out = append(out, pipeline.BatchInput{
+				Name: fmt.Sprintf("%s#%d", in.Name, c),
+				Src:  in.Src,
+			})
+		}
+	}
+	return out
+}
+
+// batchAllocs measures the allocation cost of one run via MemStats deltas.
+func batchAllocs(run func() error) (allocs, bytes int64, err error) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	if err := run(); err != nil {
+		return 0, 0, err
+	}
+	runtime.ReadMemStats(&m1)
+	return int64(m1.Mallocs - m0.Mallocs), int64(m1.TotalAlloc - m0.TotalAlloc), nil
+}
+
+// batchOutput renders the scheduling-independent output of a batch: the
+// summaries (durations masked) and the decision logs.
+func batchOutput(br *pipeline.BatchResult) string {
+	return benchDurations.ReplaceAllString(br.Summary(), "T") + "\n" + br.Explain()
 }

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// TestMeasureScaling smoke-runs the -scaling-report measurement on the
+// small kernels and checks the invariant parts of the document: the
+// schema, the sweep shape, the shared-cache hit rate of the duplicated
+// batch, and both determinism verdicts. Timing fields are not asserted.
+func TestMeasureScaling(t *testing.T) {
+	rep, err := MeasureScaling(kernels.Small, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ScalingReportSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, ScalingReportSchema)
+	}
+	if len(rep.Sweep) < 2 || rep.Sweep[0].Jobs != 1 {
+		t.Fatalf("sweep = %+v, want >= 2 points starting at jobs=1", rep.Sweep)
+	}
+	if rep.Copies < 2 {
+		t.Fatalf("copies = %d, want >= 2 (duplication is the point)", rep.Copies)
+	}
+	if !rep.DeterministicAcrossJobs {
+		t.Error("shared-cache batch output differed between jobs=1 and jobs=8")
+	}
+	if !rep.DeterministicSharing {
+		t.Error("batch output differed between shared and private caches")
+	}
+	// With c byte-identical copies the shared table answers (c-1)/c of the
+	// property probes; require comfortably more than half.
+	if rep.SharedHits == 0 || rep.SharedHitRate <= 0.57 {
+		t.Errorf("shared hit rate = %.2f (%d hits / %d misses), want > 0.57",
+			rep.SharedHitRate, rep.SharedHits, rep.SharedMisses)
+	}
+	if rep.SharedAllocs <= 0 || rep.PrivateAllocs <= 0 {
+		t.Fatalf("alloc deltas not measured: shared=%d private=%d",
+			rep.SharedAllocs, rep.PrivateAllocs)
+	}
+	if rep.SharedAllocs >= rep.PrivateAllocs {
+		t.Errorf("shared batch allocated %d objects, private %d; want fewer with sharing",
+			rep.SharedAllocs, rep.PrivateAllocs)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/comperr"
 	"repro/internal/expr"
@@ -148,6 +147,11 @@ type hcgBuilder struct {
 	labels map[int]*HNode
 	// pending backward/cross-section gotos discovered during the build
 	gotos []*HNode
+	// par, when non-nil, is the work-stealing worker executing this
+	// builder: loop bodies are spawned as independent tasks instead of
+	// built inline, IDs are deferred, and labels/gotos are recollected by
+	// the deterministic finalizeUnitHCG walk after the pool drains.
+	par *stealWorker
 }
 
 func (b *hcgBuilder) newNode(g *HGraph, kind HKind, stmt lang.Stmt) *HNode {
@@ -179,14 +183,15 @@ func BuildHCGJobs(prog *lang.Program, jobs int) *HProgram {
 	return hp
 }
 
-// BuildHCGCtx is BuildHCGJobs under a context: the dispatch loop stops
-// handing units to the pool once ctx fires and the call returns a typed
-// cancellation error (in-flight unit builds, which are short and
-// allocation-only, are allowed to finish). Each unit's section graph is
-// self-contained (own ID counter, own label table), so the builds are
-// independent; the per-unit results are merged into the HProgram in
-// prog.Units() order, making the result — node IDs, StmtNode first-wins
-// indexing, everything — identical to the serial build. jobs < 1 means
+// BuildHCGCtx is BuildHCGJobs under a context: workers stop executing
+// tasks once ctx fires and the call returns a typed cancellation error
+// (in-flight section builds, which are short and allocation-only, are
+// allowed to finish). With jobs > 1 the build runs on a work-stealing
+// pool whose tasks are individual loop-body sections, so a single large
+// unit parallelizes, not just multi-unit programs; a deterministic
+// renumbering pass afterward (finalizeUnitHCG) makes the result — node
+// IDs, label binding, StmtNode first-wins indexing, everything —
+// identical to the serial build regardless of scheduling. jobs < 1 means
 // GOMAXPROCS.
 //
 // A panic inside a pool worker is captured and re-raised on the calling
@@ -204,9 +209,6 @@ func BuildHCGCtx(ctx context.Context, prog *lang.Program, jobs int) (*HProgram, 
 	if jobs < 1 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	if jobs > len(units) {
-		jobs = len(units)
-	}
 	graphs := make([]*HGraph, len(units))
 	done := ctx.Done()
 	canceled := func() bool {
@@ -217,7 +219,7 @@ func BuildHCGCtx(ctx context.Context, prog *lang.Program, jobs int) (*HProgram, 
 			return false
 		}
 	}
-	if jobs <= 1 {
+	if jobs <= 1 || len(units) == 0 {
 		for i, u := range units {
 			if canceled() {
 				return nil, comperr.Canceled(ctx.Err())
@@ -225,35 +227,22 @@ func BuildHCGCtx(ctx context.Context, prog *lang.Program, jobs int) (*HProgram, 
 			graphs[i] = buildUnitHCG(u)
 		}
 	} else {
-		var wg sync.WaitGroup
-		var panicOnce sync.Once
-		var panicked any
-		sem := make(chan struct{}, jobs)
-		stopped := false
+		pool := newStealPool(jobs, canceled)
+		roots := make([]stealTask, len(units))
 		for i, u := range units {
-			if canceled() {
-				stopped = true
-				break
+			roots[i] = func(w *stealWorker) {
+				b := &hcgBuilder{unit: u, par: w}
+				g := b.buildSection(u.Body, nil)
+				g.Unit = u
+				graphs[i] = g
 			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer func() {
-					if r := recover(); r != nil {
-						panicOnce.Do(func() { panicked = r })
-					}
-				}()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				graphs[i] = buildUnitHCG(u)
-			}()
 		}
-		wg.Wait()
-		if panicked != nil {
-			panic(panicked)
-		}
-		if stopped {
+		pool.run(roots)
+		if canceled() {
 			return nil, comperr.Canceled(ctx.Err())
+		}
+		for i, u := range units {
+			finalizeUnitHCG(graphs[i], u)
 		}
 	}
 	for i, u := range units {
@@ -327,6 +316,12 @@ func (b *hcgBuilder) buildStmt(g *HGraph, s lang.Stmt) (first *HNode, outs []*HN
 			b.labels[l] = n
 		}
 	}
+	if b.par != nil {
+		// Parallel build: labels and gotos are recollected by the
+		// finalize walk, and IDs assigned there; registering here would
+		// race across section tasks.
+		register = func(*HNode) {}
+	}
 	switch s := s.(type) {
 	case *lang.AssignStmt, *lang.PrintStmt, *lang.ContinueStmt:
 		n := b.newNode(g, HStmt, s)
@@ -341,7 +336,9 @@ func (b *hcgBuilder) buildStmt(g *HGraph, s lang.Stmt) (first *HNode, outs []*HN
 	case *lang.GotoStmt:
 		n := b.newNode(g, HStmt, s)
 		register(n)
-		b.gotos = append(b.gotos, n)
+		if b.par == nil {
+			b.gotos = append(b.gotos, n) // parallel builds recollect in finalize
+		}
 		return n, nil
 
 	case *lang.ReturnStmt, *lang.StopStmt:
@@ -390,16 +387,64 @@ func (b *hcgBuilder) buildStmt(g *HGraph, s lang.Stmt) (first *HNode, outs []*HN
 	case *lang.DoStmt:
 		n := b.newNode(g, HDo, s)
 		register(n)
-		n.Body = b.buildSection(s.Body, n)
+		b.buildBody(n, s.Body)
 		return n, []*HNode{n}
 
 	case *lang.WhileStmt:
 		n := b.newNode(g, HWhile, s)
 		register(n)
-		n.Body = b.buildSection(s.Body, n)
+		b.buildBody(n, s.Body)
 		return n, []*HNode{n}
 	}
 	panic(fmt.Sprintf("hcg: unknown statement %T", s))
+}
+
+// buildBody attaches the loop-body section of an HDo/HWhile node: inline
+// in a serial build, or as an independent work-stealing task in a
+// parallel build. The spawned task writes only n.Body and its own fresh
+// section graph; the pool drain orders that write before any reader.
+func (b *hcgBuilder) buildBody(n *HNode, stmts []lang.Stmt) {
+	if b.par == nil {
+		n.Body = b.buildSection(stmts, n)
+		return
+	}
+	b.par.spawn(func(w *stealWorker) {
+		cb := &hcgBuilder{unit: b.unit, par: w}
+		n.Body = cb.buildSection(stmts, n)
+	})
+}
+
+// finalizeUnitHCG makes a parallel build indistinguishable from the
+// serial one: it walks the section tree in creation order — numbering
+// each node and descending into a loop body immediately after its owning
+// node, exactly the interleaving the serial builder's depth-first
+// construction produces — while recollecting labels (the first node
+// created for a statement is the one the serial register bound) and
+// gotos, then resolves gotos against the renumbered IDs.
+func finalizeUnitHCG(g *HGraph, u *lang.Unit) {
+	b := &hcgBuilder{unit: u, labels: map[int]*HNode{}}
+	seen := map[lang.Stmt]bool{}
+	var walk func(sec *HGraph)
+	walk = func(sec *HGraph) {
+		for _, n := range sec.Nodes {
+			n.ID = b.nextID
+			b.nextID++
+			if n.Stmt != nil && !seen[n.Stmt] {
+				seen[n.Stmt] = true
+				if l := n.Stmt.Label(); l != 0 {
+					b.labels[l] = n
+				}
+				if _, ok := n.Stmt.(*lang.GotoStmt); ok {
+					b.gotos = append(b.gotos, n)
+				}
+			}
+			if n.Body != nil {
+				walk(n.Body)
+			}
+		}
+	}
+	walk(g)
+	b.resolveGotos(g)
 }
 
 // resolveGotos wires forward gotos within a section and marks sections with

@@ -1,0 +1,175 @@
+package cfg
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The HCG build parallelizes *within* one compilation: every loop body is
+// an independent section graph, so building it is an independent task. A
+// work-stealing pool keeps all workers busy on a single large unit —
+// per-worker deques, owner LIFO (the freshly spawned, cache-hot subtree
+// first), thieves stealing half a victim's deque from the front (the
+// oldest, largest subtrees) — instead of the per-unit fan-out that left a
+// one-unit program serial.
+//
+// Determinism is not the scheduler's job: tasks only allocate nodes into
+// section-local slices, and BuildHCGCtx renumbers every node afterward in
+// a deterministic walk (see finalizeUnitHCG), so any execution order
+// yields an identical HProgram.
+
+// stealTask builds one section subtree; it receives the executing worker
+// so nested sections can be spawned onto its own deque.
+type stealTask func(w *stealWorker)
+
+// stealWorker is one worker of a stealPool.
+type stealWorker struct {
+	pool  *stealPool
+	mu    sync.Mutex
+	deque []stealTask
+}
+
+// stealPool coordinates the workers of one parallel build.
+type stealPool struct {
+	workers []*stealWorker
+	// pending counts spawned-but-unfinished tasks; incremented before a
+	// task becomes visible, decremented after it completes, so a zero
+	// read with every deque empty means the build is done.
+	pending atomic.Int64
+	// canceled, when non-nil and true, makes workers drain remaining
+	// tasks without executing them.
+	canceled func() bool
+	// First panic of any task, re-raised by run() after the drain.
+	panicOnce sync.Once
+	panicked  any
+	hasPanic  atomic.Bool
+}
+
+func newStealPool(workers int, canceled func() bool) *stealPool {
+	p := &stealPool{canceled: canceled}
+	for i := 0; i < workers; i++ {
+		p.workers = append(p.workers, &stealWorker{pool: p})
+	}
+	return p
+}
+
+// spawn makes t runnable on w's deque.
+func (w *stealWorker) spawn(t stealTask) {
+	w.pool.pending.Add(1)
+	w.mu.Lock()
+	w.deque = append(w.deque, t)
+	w.mu.Unlock()
+}
+
+// pop takes the youngest task of w's own deque (LIFO).
+func (w *stealWorker) pop() stealTask {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n := len(w.deque); n > 0 {
+		t := w.deque[n-1]
+		w.deque[n-1] = nil
+		w.deque = w.deque[:n-1]
+		return t
+	}
+	return nil
+}
+
+// stealFrom takes the older half of a victim's deque (FIFO end — the
+// largest subtrees), keeps the first stolen task to run now and queues the
+// rest locally. Returns nil if the victim had nothing.
+func (w *stealWorker) stealFrom(victim *stealWorker) stealTask {
+	victim.mu.Lock()
+	n := len(victim.deque)
+	if n == 0 {
+		victim.mu.Unlock()
+		return nil
+	}
+	take := (n + 1) / 2
+	stolen := make([]stealTask, take)
+	copy(stolen, victim.deque[:take])
+	rest := copy(victim.deque, victim.deque[take:])
+	for i := rest; i < n; i++ {
+		victim.deque[i] = nil
+	}
+	victim.deque = victim.deque[:rest]
+	victim.mu.Unlock()
+
+	if len(stolen) > 1 {
+		w.mu.Lock()
+		w.deque = append(w.deque, stolen[1:]...)
+		w.mu.Unlock()
+	}
+	return stolen[0]
+}
+
+// exec runs one task, isolating panics (first wins; later tasks are
+// skipped but still drained so pending reaches zero).
+func (w *stealWorker) exec(t stealTask) {
+	defer w.pool.pending.Add(-1)
+	if w.pool.hasPanic.Load() || (w.pool.canceled != nil && w.pool.canceled()) {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			w.pool.panicOnce.Do(func() { w.pool.panicked = r })
+			w.pool.hasPanic.Store(true)
+		}
+	}()
+	t(w)
+}
+
+// loop runs tasks until the pool has none in flight anywhere.
+func (w *stealWorker) loop() {
+	self := -1
+	for i, o := range w.pool.workers {
+		if o == w {
+			self = i
+		}
+	}
+	for {
+		if t := w.pop(); t != nil {
+			w.exec(t)
+			continue
+		}
+		stole := false
+		for i := 1; i < len(w.pool.workers); i++ {
+			victim := w.pool.workers[(self+i)%len(w.pool.workers)]
+			if t := w.stealFrom(victim); t != nil {
+				w.exec(t)
+				stole = true
+				break
+			}
+		}
+		if stole {
+			continue
+		}
+		if w.pool.pending.Load() == 0 {
+			return
+		}
+		// Someone is still executing (and may spawn); yield rather than
+		// hammer the deque locks.
+		runtime.Gosched()
+	}
+}
+
+// run seeds worker 0 with the root tasks, runs every worker to
+// completion, and re-raises the first captured panic.
+func (p *stealPool) run(roots []stealTask) {
+	for _, t := range roots {
+		p.workers[0].spawn(t)
+	}
+	var wg sync.WaitGroup
+	for _, w := range p.workers[1:] {
+		wg.Add(1)
+		go func(w *stealWorker) {
+			defer wg.Done()
+			w.loop()
+		}(w)
+	}
+	p.workers[0].loop()
+	wg.Wait()
+	if p.panicked != nil {
+		panic(p.panicked)
+	}
+}

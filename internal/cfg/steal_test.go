@@ -1,0 +1,161 @@
+package cfg
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+// stealSrc is a deliberately loop-heavy multi-unit program: nested DO and
+// WHILE bodies, labels, forward and backward gotos, so the parallel build
+// exercises spawning, stealing and the finalize renumbering across every
+// statement class.
+func stealSrc() string {
+	var sb strings.Builder
+	sb.WriteString("program main\n  integer i, j, k, n, x(100)\n")
+	for l := 0; l < 6; l++ {
+		fmt.Fprintf(&sb, "  do i = 1, n\n")
+		fmt.Fprintf(&sb, "    do j = 1, n\n")
+		fmt.Fprintf(&sb, "      x(j) = j + %d\n", l)
+		fmt.Fprintf(&sb, "      do k = 1, n\n        x(k) = x(k) + 1\n      end do\n")
+		fmt.Fprintf(&sb, "    end do\n")
+		fmt.Fprintf(&sb, "    if (i > 2) then\n      x(i) = 0\n    else\n      x(i) = 1\n    end if\n")
+		fmt.Fprintf(&sb, "  end do\n")
+	}
+	sb.WriteString("  call helper\n")
+	sb.WriteString("  goto 20\n")
+	sb.WriteString("  x(1) = -1\n")
+	sb.WriteString("20 x(2) = 2\n")
+	sb.WriteString("end\n")
+	sb.WriteString("subroutine helper\n  integer i\n")
+	sb.WriteString("10 continue\n")
+	sb.WriteString("  do i = 1, n\n    x(i) = x(i) * 2\n    do while (x(i) > 10)\n      x(i) = x(i) - 1\n    end do\n  end do\n")
+	sb.WriteString("  n = n - 1\n")
+	sb.WriteString("  if (n > 0) then\n    goto 10\n  end if\n")
+	sb.WriteString("end\n")
+	return sb.String()
+}
+
+// graphSignature renders every structural fact of an HCG deterministically:
+// node IDs, kinds, cond indices, statement text, edges, cyclic flags.
+func graphSignature(g *HGraph) string {
+	var sb strings.Builder
+	var walk func(sec *HGraph, depth int)
+	walk = func(sec *HGraph, depth int) {
+		fmt.Fprintf(&sb, "%*ssection entry=h%d exit=h%d cyclic=%v\n",
+			depth*2, "", sec.Entry.ID, sec.Exit.ID, sec.Cyclic)
+		for _, n := range sec.Nodes {
+			fmt.Fprintf(&sb, "%*s  h%d kind=%s cond=%d", depth*2, "", n.ID, n.Kind, n.CondIndex)
+			if n.Stmt != nil {
+				fmt.Fprintf(&sb, " stmt=%q", firstLine(lang.FormatStmt(n.Stmt)))
+			}
+			sb.WriteString(" succs=[")
+			for i, s := range n.Succs {
+				if i > 0 {
+					sb.WriteByte(' ')
+				}
+				fmt.Fprintf(&sb, "h%d", s.ID)
+			}
+			sb.WriteString("] preds=[")
+			for i, p := range n.Preds {
+				if i > 0 {
+					sb.WriteByte(' ')
+				}
+				fmt.Fprintf(&sb, "h%d", p.ID)
+			}
+			sb.WriteString("]\n")
+			if n.Body != nil {
+				walk(n.Body, depth+1)
+			}
+		}
+	}
+	walk(g, 0)
+	return sb.String()
+}
+
+func programSignature(hp *HProgram) string {
+	var sb strings.Builder
+	for _, u := range hp.Program.Units() {
+		fmt.Fprintf(&sb, "== unit %s ==\n", u.Name)
+		sb.WriteString(graphSignature(hp.Units[u]))
+	}
+	// StmtNode must index identical nodes (compare via ID per unit).
+	for _, u := range hp.Program.Units() {
+		lang.WalkStmts(u.Body, func(s lang.Stmt) bool {
+			if n := hp.StmtNode[s]; n != nil {
+				fmt.Fprintf(&sb, "stmtnode %q -> h%d (%s)\n",
+					firstLine(lang.FormatStmt(s)), n.ID, n.Graph.Unit.Name)
+			}
+			return true
+		})
+	}
+	return sb.String()
+}
+
+// TestParallelHCGDeterministic builds the same program serially and with
+// the work-stealing pool at several widths: every structural signature
+// must be byte-identical.
+func TestParallelHCGDeterministic(t *testing.T) {
+	src := stealSrc()
+	parse := func() *lang.Program {
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return prog
+	}
+	serial := programSignature(BuildHCG(parse()))
+	for _, jobs := range []int{2, 3, 8} {
+		for round := 0; round < 10; round++ {
+			hp, err := BuildHCGCtx(context.Background(), parse(), jobs)
+			if err != nil {
+				t.Fatalf("jobs=%d: %v", jobs, err)
+			}
+			got := programSignature(hp)
+			if got != serial {
+				t.Fatalf("jobs=%d round %d: parallel HCG differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+					jobs, round, serial, got)
+			}
+		}
+	}
+}
+
+// TestParallelHCGPanicPropagates checks a panic inside a section task is
+// re-raised once on the calling goroutine after the pool drains.
+func TestParallelHCGPanicPropagates(t *testing.T) {
+	prog, err := lang.Parse(stealSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one nested statement so the builder panics mid-task.
+	u := prog.Units()[0]
+	lang.WalkStmts(u.Body, func(s lang.Stmt) bool {
+		if do, ok := s.(*lang.DoStmt); ok && len(do.Body) > 0 {
+			do.Body[len(do.Body)-1] = nil // builder panics on unknown statement
+			return false
+		}
+		return true
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected the section-task panic to propagate")
+		}
+	}()
+	_, _ = BuildHCGCtx(context.Background(), prog, 4)
+}
+
+// TestParallelHCGCancel checks cancellation returns the typed error.
+func TestParallelHCGCancel(t *testing.T) {
+	prog, err := lang.Parse(stealSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildHCGCtx(ctx, prog, 4); err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+}

@@ -20,6 +20,7 @@
 package property
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/cfg"
@@ -47,6 +48,13 @@ type Stats struct {
 	CacheHits          int
 	CacheMisses        int
 	CacheInvalidations int
+	// SharedHits / SharedMisses count local misses answered from / not
+	// found in the cross-compilation SharedMemo. They depend on what
+	// other compilations already proved, so — unlike the local cache
+	// counters — they are scheduling-dependent and excluded from
+	// determinism comparisons (like the expr.intern.* counters).
+	SharedHits   int
+	SharedMisses int
 	// Elapsed is the wall-clock time spent answering queries.
 	Elapsed time.Duration
 }
@@ -62,6 +70,8 @@ func (s *Stats) Add(o Stats) {
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
 	s.CacheInvalidations += o.CacheInvalidations
+	s.SharedHits += o.SharedHits
+	s.SharedMisses += o.SharedMisses
 	s.Elapsed += o.Elapsed
 }
 
@@ -92,10 +102,20 @@ type Analysis struct {
 	// (recovered and typed at the pipeline boundary). The checkpoint only
 	// reads, so verdicts are identical whenever it does not fire.
 	Guard *comperr.Guard
+	// Shared, when non-nil, backs local memo misses with the
+	// cross-compilation verdict table under SharedScope (the program
+	// identity key derived by the pipeline). Nil keeps the Analysis fully
+	// private — the NoSharedCache ablation.
+	Shared      *SharedMemo
+	SharedScope string
 
 	flat  map[*lang.Unit]*cfg.Graph
 	loops map[*lang.Unit]map[lang.Stmt]*cfg.Loop
 	memo  map[memoKey]memoEntry
+	// epoch is the current program generation (see InvalidateCache);
+	// memoLive counts the memo entries installed under it.
+	epoch    int
+	memoLive int
 }
 
 // New builds an Analysis over a checked program.
@@ -179,21 +199,45 @@ func (a *Analysis) Verify(prop Property, at lang.Stmt, sec *section.Section) boo
 		}
 		return false
 	}
-	s := &session{
-		a:          a,
-		prop:       prop,
-		trace:      sp != nil,
-		modScalars: map[string]bool{},
-		modArrays:  map[string]bool{},
-		effects:    map[*cfg.HNode][2]*section.Set{},
-	}
+	s := getSession(a, prop, sp != nil)
 	seeds := map[*cfg.HNode]*section.Set{node: section.NewSet(sec)}
 	ok := s.verifyFrom(node.Graph, seeds)
+	// Return the session scratch to the pool only on the normal path: a
+	// Guard abort panics through Verify mid-traversal, and the session is
+	// then simply left for the GC (putting a half-walked session back
+	// would be fine semantically, but the abort path should stay minimal).
+	putSession(s)
 	if sp != nil {
 		a.Rec.Event("query.result", obs.Fb("ok", ok), obs.F("prop", prop.String()))
 		sp.End()
 	}
 	return ok
+}
+
+// sessionPool recycles session scratch (three maps per query) across
+// Verify calls. Sessions never escape a query — verifyFrom and everything
+// under it only read them — so pooling is safe; the maps are cleared on
+// reuse, keeping their grown capacity.
+var sessionPool = sync.Pool{New: func() any { return new(session) }}
+
+func getSession(a *Analysis, prop Property, trace bool) *session {
+	s := sessionPool.Get().(*session)
+	s.a, s.prop, s.trace = a, prop, trace
+	if s.modScalars == nil {
+		s.modScalars = map[string]bool{}
+		s.modArrays = map[string]bool{}
+		s.effects = map[*cfg.HNode][2]*section.Set{}
+	} else {
+		clear(s.modScalars)
+		clear(s.modArrays)
+		clear(s.effects)
+	}
+	return s
+}
+
+func putSession(s *session) {
+	s.a, s.prop = nil, nil
+	sessionPool.Put(s)
 }
 
 // session is the per-query state: the property being verified and the

@@ -1,0 +1,131 @@
+package property
+
+import "sync"
+
+// memoShards is the shard count of a SharedMemo; a power of two for the
+// mask in shardFor.
+const memoShards = 16
+
+// memoShardCap bounds one shard. A full shard is dropped wholesale
+// (coarse eviction): the shared memo is a performance cache over
+// deterministic queries, so losing entries costs re-verification, never
+// correctness.
+const memoShardCap = 1 << 13
+
+// memoShard is one lock-striped slice of the shared verdict table, padded
+// to a 64-byte cache line like the obs counters so shards hammered by
+// different workers never false-share.
+type memoShard struct {
+	mu        sync.Mutex
+	entries   map[string]sharedMemoEntry
+	hits      int64
+	misses    int64
+	evictions int64
+	// 24 pad bytes round the 40 bytes above (8 mutex + 8 map header +
+	// 3×8 counters) up to one 64-byte line.
+	_ [24]byte
+}
+
+type sharedMemoEntry struct {
+	ok   bool
+	prop Property
+}
+
+// SharedMemo is a process-lifetime, concurrency-safe property-verdict
+// table shared across compilations: the same sharding discipline as
+// expr.SharedInterner, holding verified Property instances keyed by
+// (scope, unit, HCG node ID, property identity, section key). Cached
+// properties are immutable after verification (the memo contract), so a
+// hit from another compilation is safe to return directly.
+//
+// Scoping mirrors the shared interner: entries are only reachable from
+// compilations with the same scope key (same source compiled the same
+// way), because properties hold expressions referencing the installing
+// program's AST, and because HCG node IDs are only meaningful within one
+// deterministic build. The shard mutex orders the installing write before
+// any cross-goroutine read.
+type SharedMemo struct {
+	shards [memoShards]memoShard
+	// shardCap bounds each shard (memoShardCap; tests shrink it).
+	shardCap int
+}
+
+// NewSharedMemo builds an empty shared verdict table.
+func NewSharedMemo() *SharedMemo {
+	m := &SharedMemo{shardCap: memoShardCap}
+	for i := range m.shards {
+		m.shards[i].entries = make(map[string]sharedMemoEntry)
+	}
+	return m
+}
+
+// shardFor is FNV-1a over the key.
+func (m *SharedMemo) shardFor(key string) *memoShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return &m.shards[h&(memoShards-1)]
+}
+
+// get returns the shared verdict for key, if any.
+func (m *SharedMemo) get(key string) (Property, bool, bool) {
+	sh := m.shardFor(key)
+	sh.mu.Lock()
+	e, hit := sh.entries[key]
+	if hit {
+		sh.hits++
+	} else {
+		sh.misses++
+	}
+	sh.mu.Unlock()
+	return e.prop, e.ok, hit
+}
+
+// put installs a verdict for key (first writer wins; a concurrent
+// identical verification installs an equivalent entry, so either order
+// yields the same observable behaviour).
+func (m *SharedMemo) put(key string, prop Property, ok bool) {
+	sh := m.shardFor(key)
+	sh.mu.Lock()
+	if _, exists := sh.entries[key]; !exists {
+		if len(sh.entries) >= m.shardCap {
+			sh.entries = make(map[string]sharedMemoEntry)
+			sh.evictions++
+		}
+		sh.entries[key] = sharedMemoEntry{ok: ok, prop: prop}
+	}
+	sh.mu.Unlock()
+}
+
+// SharedMemoStats aggregates the shard counters of a SharedMemo.
+type SharedMemoStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int64
+}
+
+// Stats merges the per-shard counters under the shard locks (torn-free
+// while queries continue; called once per compile or report).
+func (m *SharedMemo) Stats() SharedMemoStats {
+	var out SharedMemoStats
+	if m == nil {
+		return out
+	}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		out.Hits += sh.hits
+		out.Misses += sh.misses
+		out.Evictions += sh.evictions
+		out.Entries += int64(len(sh.entries))
+		sh.mu.Unlock()
+	}
+	return out
+}

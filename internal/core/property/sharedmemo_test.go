@@ -1,0 +1,196 @@
+package property
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// sharedWorld builds N independent analyses over the same source, all
+// attached to one SharedMemo under one scope — the shape of a batch
+// compiling duplicated inputs.
+func sharedWorld(t *testing.T, n int) (*SharedMemo, []*world) {
+	t.Helper()
+	shared := NewSharedMemo()
+	worlds := make([]*world, n)
+	for i := range worlds {
+		worlds[i] = build(t, gatherSrc)
+		worlds[i].an.Shared = shared
+		worlds[i].an.SharedScope = "gather"
+	}
+	return shared, worlds
+}
+
+// TestSharedMemoServesAcrossAnalyses proves one verdict through one
+// analysis and checks a second, fresh analysis over the identical program
+// is answered from the shared table without re-propagating.
+func TestSharedMemoServesAcrossAnalyses(t *testing.T) {
+	_, ws := sharedWorld(t, 2)
+	mk := func() Property { return NewInjective("ind") }
+	sec := sec1("ind", expr.One, expr.Var("q"))
+
+	use0 := ws[0].assignTo("gather", "jj")
+	if _, ok := ws[0].an.VerifyCached(mk, use0, sec); !ok {
+		t.Fatal("first analysis: ind[1:q] should verify injective")
+	}
+	if ws[0].an.Stats.SharedMisses != 1 || ws[0].an.Stats.SharedHits != 0 {
+		t.Fatalf("first analysis shared counters = %d hits / %d misses, want 0/1",
+			ws[0].an.Stats.SharedHits, ws[0].an.Stats.SharedMisses)
+	}
+
+	use1 := ws[1].assignTo("gather", "jj")
+	p, ok := ws[1].an.VerifyCached(mk, use1, sec)
+	if !ok {
+		t.Fatal("second analysis: shared verdict should replay as ok")
+	}
+	if ws[1].an.Stats.SharedHits != 1 {
+		t.Fatalf("second analysis SharedHits = %d, want 1", ws[1].an.Stats.SharedHits)
+	}
+	if ws[1].an.Stats.Queries != 0 {
+		t.Fatalf("second analysis ran %d propagations, want 0 (served from shared memo)", ws[1].an.Stats.Queries)
+	}
+	// Local cache counters must be charged exactly as without sharing.
+	if ws[1].an.Stats.CacheMisses != 1 || ws[1].an.Stats.CacheHits != 0 {
+		t.Fatalf("second analysis local cache = %d hits / %d misses, want 0/1",
+			ws[1].an.Stats.CacheHits, ws[1].an.Stats.CacheMisses)
+	}
+	if inj, okc := p.(*Injective); !okc || inj.TargetArray() != "ind" {
+		t.Fatalf("shared verdict replayed wrong property: %v", p)
+	}
+}
+
+// TestSharedMemoScopeIsolation checks a different scope never observes
+// another program's verdicts.
+func TestSharedMemoScopeIsolation(t *testing.T) {
+	shared, ws := sharedWorld(t, 2)
+	ws[1].an.SharedScope = "other"
+	mk := func() Property { return NewInjective("ind") }
+	sec := sec1("ind", expr.One, expr.Var("q"))
+
+	ws[0].an.VerifyCached(mk, ws[0].assignTo("gather", "jj"), sec)
+	ws[1].an.VerifyCached(mk, ws[1].assignTo("gather", "jj"), sec)
+	if ws[1].an.Stats.SharedHits != 0 {
+		t.Fatalf("scope %q hit scope %q's verdicts", "other", "gather")
+	}
+	st := shared.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("shared entries = %d, want 2 (one per scope)", st.Entries)
+	}
+}
+
+// TestSharedMemoConcurrentQueryAndInvalidate runs concurrent identical
+// queries through shared-backed analyses while another goroutine keeps
+// invalidating its own analysis's local table: every verdict must agree,
+// and invalidation must never disturb other analyses' entries. Run with
+// -race.
+func TestSharedMemoConcurrentQueryAndInvalidate(t *testing.T) {
+	const workers = 6
+	_, ws := sharedWorld(t, workers)
+
+	var wg sync.WaitGroup
+	verdicts := make([]bool, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			an := ws[w].an
+			use := ws[w].assignTo("gather", "jj")
+			// Sections memoize their key lazily, so each goroutine builds
+			// its own — as each batch item does in the real pipeline.
+			sec := sec1("ind", expr.One, expr.Var("q"))
+			ok := true
+			for r := 0; r < 50; r++ {
+				_, okInj := an.VerifyCached(func() Property { return NewInjective("ind") }, use, sec)
+				_, okB := an.VerifyCached(func() Property { return NewBounds("ind") }, use, sec)
+				ok = ok && okInj && okB
+				if w%2 == 1 {
+					// Odd workers churn their local epoch: the next
+					// round must re-probe the shared table, still
+					// agreeing with everyone else.
+					an.InvalidateCache()
+				}
+			}
+			verdicts[w] = ok
+		}(w)
+	}
+	wg.Wait()
+	for w, ok := range verdicts {
+		if !ok {
+			t.Fatalf("worker %d saw a failing verdict; all queries should verify", w)
+		}
+	}
+	// Invalidation bumped only local epochs; every analysis that
+	// invalidated must have re-hit the shared table, not re-proved.
+	totalQueries := 0
+	for _, w := range ws {
+		totalQueries += w.an.Stats.Queries
+	}
+	if totalQueries > 2*workers {
+		t.Fatalf("total propagations = %d; shared memo should bound re-proving near 2", totalQueries)
+	}
+}
+
+// TestSharedMemoEpochInvalidationIsLocal checks InvalidateCache retires
+// only the invalidating analysis's entries (epoch bump), at O(1) cost,
+// and that the invalidations counter semantics survive: a drop of an
+// empty table is still free and uncounted.
+func TestSharedMemoEpochInvalidationIsLocal(t *testing.T) {
+	w := build(t, gatherSrc)
+	mk := func() Property { return NewInjective("ind") }
+	sec := sec1("ind", expr.One, expr.Var("q"))
+	use := w.assignTo("gather", "jj")
+
+	w.an.InvalidateCache() // empty: free, uncounted
+	if w.an.Stats.CacheInvalidations != 0 {
+		t.Fatalf("empty invalidation was counted")
+	}
+	w.an.VerifyCached(mk, use, sec)
+	w.an.InvalidateCache()
+	w.an.InvalidateCache() // second drop is free again
+	if w.an.Stats.CacheInvalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", w.an.Stats.CacheInvalidations)
+	}
+	if w.an.epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", w.an.epoch)
+	}
+	// The retired verdict must not replay: the next lookup re-verifies.
+	w.an.VerifyCached(mk, use, sec)
+	if w.an.Stats.CacheHits != 0 {
+		t.Fatalf("stale epoch entry replayed after invalidation")
+	}
+	if w.an.Stats.CacheMisses != 2 {
+		t.Fatalf("cache misses = %d, want 2", w.an.Stats.CacheMisses)
+	}
+}
+
+// TestSharedMemoEviction shrinks the shard cap and checks the table stays
+// bounded while verdicts remain correct after eviction.
+func TestSharedMemoEviction(t *testing.T) {
+	shared := NewSharedMemo()
+	shared.shardCap = 8
+	w := build(t, gatherSrc)
+	w.an.Shared = shared
+	w.an.SharedScope = "gather"
+	use := w.assignTo("gather", "jj")
+	for i := int64(1); i <= int64(memoShards*shared.shardCap+64); i++ {
+		sec := sec1("ind", expr.Const(i), expr.Var("q"))
+		w.an.VerifyCached(func() Property { return NewBounds("ind") }, use, sec)
+	}
+	st := shared.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no shared-memo evictions under a cap of %d", shared.shardCap)
+	}
+	if st.Entries > int64(memoShards*shared.shardCap) {
+		t.Fatalf("entries %d exceed the aggregate cap", st.Entries)
+	}
+	// Post-eviction, a fresh analysis still replays a resident verdict.
+	w2 := build(t, gatherSrc)
+	w2.an.Shared = shared
+	w2.an.SharedScope = "gather"
+	use2 := w2.assignTo("gather", "jj")
+	sec := sec1("ind", expr.One, expr.Var("q"))
+	if _, ok := w2.an.VerifyCached(func() Property { return NewInjective("ind") }, use2, sec); !ok {
+		t.Fatal("verification failed after evictions")
+	}
+}

@@ -48,23 +48,23 @@ func (a Assumptions) signOf(atom string) Sign {
 	return Unknown
 }
 
-// termSign computes the sign of coef·Πatoms^pow under the assumptions.
-// The caller guarantees integral coefficients (ProveGE0 scales first).
-func termSign(t *term, a Assumptions) Sign {
-	if t.coef.invalid() {
+// coefSign computes the sign of coef·Πatoms^pow under the assumptions.
+// The caller guarantees an integral coefficient (the provers scale first).
+func coefSign(coef rat, factors []factor, a Assumptions) Sign {
+	if coef.invalid() {
 		return Unknown // overflowed coefficient: no usable sign
 	}
 	// Start from the coefficient.
 	var s Sign
 	switch {
-	case t.coef.sign() > 0:
+	case coef.sign() > 0:
 		s = GT0
-	case t.coef.sign() < 0:
+	case coef.sign() < 0:
 		s = LT0
 	default:
 		return GE0 // zero term
 	}
-	for _, f := range t.factors {
+	for _, f := range factors {
 		fs := a.signOf(f.atom)
 		if f.pow%2 == 0 {
 			// Even power: x^2k >= 0 always; > 0 only if x != 0 which we
@@ -103,73 +103,140 @@ func mulSign(x, y Sign) Sign {
 	return Unknown
 }
 
-// ProveGE0 conservatively proves e >= 0 under the assumptions: true means
-// provably nonnegative; false means "could not prove", not "negative".
-// Rational coefficients are cleared by scaling with the (positive) common
-// denominator, which preserves the sign.
-func ProveGE0(e *Expr, a Assumptions) bool {
+// proveDiffGE0 conservatively proves y - x + extra >= 0 without ever
+// materializing the difference: it walks both term maps computing each
+// virtual difference coefficient on the fly, scales by the common
+// denominator coefficient-wise, and applies the same sign/budget logic the
+// historical ProveGE0 ran over an allocated y.Sub(x) clone. Every rat
+// overflow returns false — exactly the verdict the allocating path reached
+// by degrading the overflowed result to an opaque (Unknown-sign) atom.
+// This is the allocation-free fast path behind all four public provers,
+// which sit under every dependence/property query.
+func proveDiffGE0(y, x *Expr, extra int64, a Assumptions) bool {
+	k := y.konst.sub(x.konst).add(ratInt(extra))
+	if k.invalid() {
+		return false
+	}
+	// Pass 1: common denominator over the constant and every nonzero
+	// difference coefficient; 0 means lcm overflow (cannot scale, cannot
+	// prove). The virtual-diff walk repeats in pass 2 with the scaled
+	// coefficients — the double walk is still far cheaper than the clone
+	// + map-merge the materialized difference used to cost.
 	den := int64(1)
-	if !e.konst.isInt() {
-		den = lcm64(den, e.konst.d)
+	if !k.isInt() {
+		den = lcm64(den, k.d)
 	}
-	for _, t := range e.terms {
-		if !t.coef.isInt() {
-			den = lcm64(den, t.coef.d)
+	for key, yt := range y.terms {
+		c := yt.coef
+		if xt, ok := x.terms[key]; ok {
+			c = c.sub(xt.coef)
 		}
-	}
-	if den == 0 {
-		return false // denominator lcm overflow: cannot scale, cannot prove
-	}
-	if den != 1 {
-		e = e.MulConst(den)
-	}
-	if e.konst.n < 0 {
-		// The constant must be covered by a strictly positive term; we
-		// only handle the common pattern  atom - c  with atom >= 1
-		// (i.e. GT0 means >= 1, so atom - 1 >= 0).
-		// General case: sum of GT0 term counts as >= 1 each.
-		budget := e.konst.n
-		for _, t := range e.terms {
-			switch termSign(t, a) {
-			case GT0:
-				budget += absCoefLowerBound(t)
-			case GE0:
-				// contributes >= 0
-			default:
-				return false
-			}
-		}
-		return budget >= 0
-	}
-	for _, t := range e.terms {
-		s := termSign(t, a)
-		if s != GE0 && s != GT0 {
+		if c.invalid() {
 			return false
 		}
+		if !c.isZero() && !c.isInt() {
+			den = lcm64(den, c.d)
+		}
+		if den == 0 {
+			return false
+		}
+	}
+	for key, xt := range x.terms {
+		if _, ok := y.terms[key]; ok {
+			continue // visited from y's side
+		}
+		c := xt.coef.neg()
+		if c.invalid() {
+			return false
+		}
+		if !c.isZero() && !c.isInt() {
+			den = lcm64(den, c.d)
+		}
+		if den == 0 {
+			return false
+		}
+	}
+	if den != 1 {
+		k = k.mul(ratInt(den))
+		if k.invalid() {
+			return false
+		}
+	}
+	// Pass 2: sign-check each scaled difference coefficient. A negative
+	// constant must be covered by strictly positive terms: GT0 means
+	// >= 1 for integer atoms, so a GT0 term with coefficient c
+	// contributes at least |c| (the budget regime of the historical
+	// prover); with a nonnegative constant every term must be GE0/GT0.
+	needBudget := k.n < 0
+	budget := k.n
+	for key, yt := range y.terms {
+		c := yt.coef
+		if xt, ok := x.terms[key]; ok {
+			c = c.sub(xt.coef)
+		}
+		if c.isZero() {
+			continue // cancelled term: absent from the difference
+		}
+		if !diffTermOK(c, yt.factors, den, needBudget, &budget, a) {
+			return false
+		}
+	}
+	for key, xt := range x.terms {
+		if _, ok := y.terms[key]; ok {
+			continue
+		}
+		c := xt.coef.neg()
+		if c.isZero() {
+			continue
+		}
+		if !diffTermOK(c, xt.factors, den, needBudget, &budget, a) {
+			return false
+		}
+	}
+	return !needBudget || budget >= 0
+}
+
+// diffTermOK sign-checks one nonzero difference term for proveDiffGE0,
+// scaling the coefficient by den first. In the budget regime a GT0 term
+// pays |coef| toward the negative constant and GE0 is free; otherwise the
+// term itself must be provably nonnegative.
+func diffTermOK(c rat, factors []factor, den int64, needBudget bool, budget *int64, a Assumptions) bool {
+	if den != 1 {
+		c = c.mul(ratInt(den))
+	}
+	s := coefSign(c, factors, a)
+	if !needBudget {
+		return s == GE0 || s == GT0
+	}
+	switch s {
+	case GT0:
+		n := c.n
+		if n < 0 {
+			n = -n
+		}
+		*budget += n
+	case GE0:
+		// contributes >= 0
+	default:
+		return false
 	}
 	return true
 }
 
-// absCoefLowerBound returns a lower bound for a term known to be GT0: a
-// product of integers each >= 1, scaled by |coef|, is >= |coef|.
-func absCoefLowerBound(t *term) int64 {
-	c := t.coef.n
-	if c < 0 {
-		c = -c
-	}
-	return c
-}
+// ProveGE0 conservatively proves e >= 0 under the assumptions: true means
+// provably nonnegative; false means "could not prove", not "negative".
+// Rational coefficients are cleared by scaling with the (positive) common
+// denominator, which preserves the sign.
+func ProveGE0(e *Expr, a Assumptions) bool { return proveDiffGE0(e, Zero, 0, a) }
 
 // ProveGT0 conservatively proves e >= 1.
-func ProveGT0(e *Expr, a Assumptions) bool {
-	return ProveGE0(e.AddConst(-1), a)
-}
+func ProveGT0(e *Expr, a Assumptions) bool { return proveDiffGE0(e, Zero, -1, a) }
 
 // ProveLE conservatively proves x <= y.
-func ProveLE(x, y *Expr, a Assumptions) bool { return ProveGE0(y.Sub(x), a) }
+func ProveLE(x, y *Expr, a Assumptions) bool { return proveDiffGE0(y, x, 0, a) }
 
 // ProveLT conservatively proves x < y (x <= y-1 over the integers).
-func ProveLT(x, y *Expr, a Assumptions) bool { return ProveGT0(y.Sub(x), a) }
+func ProveLT(x, y *Expr, a Assumptions) bool { return proveDiffGE0(y, x, -1, a) }
 
 // ---------------------------------------------------------------------------
 // Symbolic ranges

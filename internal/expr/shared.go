@@ -1,0 +1,142 @@
+package expr
+
+import "sync"
+
+// internShards is the shard count of a SharedInterner. 16 keeps per-shard
+// contention negligible at realistic -jobs while the whole shard array
+// stays a few cache lines; it must be a power of two for the mask below.
+const internShards = 16
+
+// internShardCap bounds the entries of one shard. When a shard fills, the
+// whole shard map is dropped (coarse eviction): the shared table is a
+// performance cache, so losing entries only costs re-interning, never
+// correctness.
+const internShardCap = 1 << 15
+
+// internShard is one lock-striped slice of the shared canonical-key table.
+// The struct is padded to a 64-byte cache line like the obs counters, so
+// shards hammered by different workers never false-share.
+type internShard struct {
+	mu        sync.Mutex
+	byKey     map[string]*Expr
+	hits      int64
+	misses    int64
+	evictions int64
+	// 24 pad bytes round the 40 bytes above (8 mutex + 8 map header +
+	// 3×8 counters) up to one 64-byte line.
+	_ [24]byte
+}
+
+// SharedInterner is a process-lifetime, concurrency-safe canonical-key
+// table shared across compilations: N-way sharded by key hash, one mutex
+// per shard. It backs per-compilation Interners (see Interner method):
+// the local interner still answers repeats within one compilation from
+// its unsynchronized map, and only first-time keys take a shard lock, so
+// the shared layer adds no cost to the hot intra-compile path.
+//
+// Scoping: entries are keyed by (scope, canonical key). Representatives
+// hold references to the program's AST (atoms), so two compilations may
+// share representatives only when they compile the same program the same
+// way; the pipeline derives the scope from a hash of the source and every
+// output-relevant option. The shard mutex orders the installing write
+// before any cross-goroutine read of the representative, so a compilation
+// reading another's Expr observes it fully built.
+type SharedInterner struct {
+	shards [internShards]internShard
+	// shardCap bounds each shard (internShardCap; tests shrink it).
+	shardCap int
+}
+
+// NewSharedInterner builds an empty shared table.
+func NewSharedInterner() *SharedInterner {
+	s := &SharedInterner{shardCap: internShardCap}
+	for i := range s.shards {
+		s.shards[i].byKey = make(map[string]*Expr)
+	}
+	return s
+}
+
+// Interner builds a per-compilation interner backed by s: local misses
+// consult (and populate) the shared table under the scope key. The
+// returned Interner is still single-goroutine, like every Interner; only
+// the shared backing is synchronized.
+func (s *SharedInterner) Interner(scope string) *Interner {
+	in := NewInterner()
+	in.shared = s
+	in.scope = scope
+	return in
+}
+
+// shardHash is FNV-1a over the scope and key, matching the obs counter
+// sharding discipline.
+func shardHash(scope, key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(scope); i++ {
+		h ^= uint32(scope[i])
+		h *= prime32
+	}
+	h ^= '|'
+	h *= prime32
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
+// intern returns the shared representative for (scope, key), installing e
+// as the representative if the pair is new. e's canonical key is cached
+// under the shard lock before e becomes visible to other goroutines.
+func (s *SharedInterner) intern(scope, key string, e *Expr) *Expr {
+	sh := &s.shards[shardHash(scope, key)&(internShards-1)]
+	full := scope + "\x00" + key
+	sh.mu.Lock()
+	if r, ok := sh.byKey[full]; ok {
+		sh.hits++
+		sh.mu.Unlock()
+		return r
+	}
+	if len(sh.byKey) >= s.shardCap {
+		sh.byKey = make(map[string]*Expr)
+		sh.evictions++
+	}
+	if e.ckey == "" {
+		e.ckey = key
+	}
+	sh.byKey[full] = e
+	sh.misses++
+	sh.mu.Unlock()
+	return e
+}
+
+// SharedInternStats aggregates the shard counters of a SharedInterner.
+type SharedInternStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int64
+}
+
+// Stats merges the per-shard counters. Each shard is read under its own
+// lock, so the totals are torn-free even while interning continues; the
+// pipeline calls this once per compile (or report), never on a hot path.
+func (s *SharedInterner) Stats() SharedInternStats {
+	var out SharedInternStats
+	if s == nil {
+		return out
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out.Hits += sh.hits
+		out.Misses += sh.misses
+		out.Evictions += sh.evictions
+		out.Entries += int64(len(sh.byKey))
+		sh.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package expr
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// buildProbe constructs a non-trivial expression deterministically from a
+// seed, without interning.
+func buildProbe(seed int) *Expr {
+	e := Var("i").MulConst(int64(seed%7 + 1))
+	e = e.Add(Var("j").MulConst(int64(seed%5 + 2)))
+	e = e.Add(Var("n").Mul(Var("i")))
+	return e.AddConst(int64(seed % 3))
+}
+
+// TestSharedInternerConcurrentEqual hammers one shared table from many
+// goroutines interning structurally equal expressions under the same
+// scope: all of them must converge on a single representative pointer,
+// and the merged stats must balance. Run with -race.
+func TestSharedInternerConcurrentEqual(t *testing.T) {
+	shared := NewSharedInterner()
+	const workers = 8
+	const rounds = 200
+	const variants = 11
+
+	reps := make([][]*Expr, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			in := shared.Interner("scope")
+			got := make([]*Expr, variants)
+			for r := 0; r < rounds; r++ {
+				for v := 0; v < variants; v++ {
+					e := in.Intern(buildProbe(v))
+					if got[v] == nil {
+						got[v] = e
+					} else if got[v] != e {
+						t.Errorf("worker %d: variant %d re-interned to a different pointer", w, v)
+						return
+					}
+				}
+			}
+			reps[w] = got
+		}(w)
+	}
+	wg.Wait()
+
+	for v := 0; v < variants; v++ {
+		for w := 1; w < workers; w++ {
+			if reps[w] == nil || reps[0] == nil {
+				t.Fatalf("worker result missing")
+			}
+			if reps[w][v] != reps[0][v] {
+				t.Fatalf("variant %d: workers 0 and %d hold different representatives", v, w)
+			}
+		}
+		if reps[0][v].ckey == "" {
+			t.Fatalf("variant %d: representative has no cached canonical key", v)
+		}
+	}
+
+	st := shared.Stats()
+	if st.Misses != variants {
+		t.Fatalf("shared misses = %d, want %d (one install per distinct key)", st.Misses, variants)
+	}
+	if st.Hits != int64(workers-1)*variants {
+		t.Fatalf("shared hits = %d, want %d", st.Hits, int64(workers-1)*variants)
+	}
+	if st.Entries != variants {
+		t.Fatalf("shared entries = %d, want %d", st.Entries, variants)
+	}
+}
+
+// TestSharedInternerScopeIsolation checks that different scopes never
+// share representatives: the same canonical key interned under two scopes
+// yields two pointers.
+func TestSharedInternerScopeIsolation(t *testing.T) {
+	shared := NewSharedInterner()
+	a := shared.Interner("progA").Intern(buildProbe(1))
+	b := shared.Interner("progB").Intern(buildProbe(1))
+	if a == b {
+		t.Fatalf("scopes progA and progB shared a representative")
+	}
+	if a.String() != b.String() {
+		t.Fatalf("probe rendering differs across scopes: %q vs %q", a, b)
+	}
+}
+
+// TestSharedInternerEviction fills one scope beyond the shard cap and
+// checks the table stays bounded and correct (re-interning after an
+// eviction still canonicalizes).
+func TestSharedInternerEviction(t *testing.T) {
+	shared := NewSharedInterner()
+	shared.shardCap = 32 // shrink from internShardCap to keep the test fast
+	in := shared.Interner("s")
+	n := shared.shardCap*internShards + internShards*4
+	for i := 0; i < n; i++ {
+		in.Intern(Var("v").AddConst(int64(i)))
+	}
+	st := shared.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions after %d inserts across %d-cap shards", n, shared.shardCap)
+	}
+	if st.Entries > int64(internShards*shared.shardCap) {
+		t.Fatalf("entries %d exceed the aggregate cap", st.Entries)
+	}
+	// A fresh compilation still converges with a current resident.
+	in2 := shared.Interner("s")
+	p1 := in2.Intern(Var("w").AddConst(1))
+	p2 := shared.Interner("s").Intern(Var("w").AddConst(1))
+	if p1 != p2 {
+		t.Fatalf("post-eviction interning no longer canonicalizes")
+	}
+}
+
+// TestSharedInternerStatsDuringTraffic reads Stats concurrently with
+// interning; -race verifies no torn reads.
+func TestSharedInternerStatsDuringTraffic(t *testing.T) {
+	shared := NewSharedInterner()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			in := shared.Interner("s")
+			for i := 0; i < 500; i++ {
+				in.Intern(Var(fmt.Sprintf("x%d", i%50)).AddConst(int64(w)))
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			st := shared.Stats()
+			if st.Hits+st.Misses == 0 {
+				t.Fatalf("no traffic recorded")
+			}
+			return
+		default:
+			_ = shared.Stats()
+		}
+	}
+}

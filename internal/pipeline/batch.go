@@ -40,9 +40,17 @@ type BatchResult struct {
 // inputs over a worker pool of opts.Jobs goroutines (0 or negative:
 // GOMAXPROCS). Each input is an independent compilation — its own program,
 // its own analyses, and, when telemetry is requested, its own recorder —
-// so the fan-out cannot interleave state; results are collected in input
-// order, which makes every aggregate (Summary, Counters, metrics JSON)
-// byte-identical for any job count.
+// results are collected in input order, so summaries, decision logs and
+// loop verdicts are byte-identical for any job count.
+//
+// Unless opts.NoSharedCache is set, the items additionally share one
+// SharedAnalysisCache (opts.Shared when provided, otherwise a fresh
+// batch-local one): expressions and property verdicts proved for one item
+// replay for every later item with identical source and options. Verdicts
+// never change; with duplicated inputs the *work* counters
+// (property.queries, nodes_visited, shared_hits/shared_misses) can shift
+// between job counts, because which duplicate proves and which replays is
+// a scheduling race — every other aggregate stays byte-identical.
 //
 // opts.Recorder acts as a flag here: when it is enabled, every item gets a
 // fresh recorder (exposed as its Result.Recorder); events are never written
@@ -62,6 +70,9 @@ func CompileBatchContext(ctx context.Context, inputs []BatchInput, mode parallel
 		ctx = context.Background()
 	}
 	br := &BatchResult{Items: make([]BatchItem, len(inputs))}
+	if opts.Shared == nil && !opts.NoSharedCache {
+		opts.Shared = NewSharedAnalysisCache()
+	}
 	jobs := opts.Jobs
 	if jobs < 1 {
 		jobs = runtime.GOMAXPROCS(0)

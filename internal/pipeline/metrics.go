@@ -91,6 +91,8 @@ func (r *Result) Metrics() *Metrics {
 	m.Counters["property.cache_hits"] = int64(st.CacheHits)
 	m.Counters["property.cache_misses"] = int64(st.CacheMisses)
 	m.Counters["property.cache_invalidations"] = int64(st.CacheInvalidations)
+	m.Counters["property.shared_hits"] = int64(st.SharedHits)
+	m.Counters["property.shared_misses"] = int64(st.SharedMisses)
 	for k, v := range r.Recorder.Counters() {
 		m.Counters[k] = v
 	}

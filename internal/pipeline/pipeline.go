@@ -128,6 +128,17 @@ type Options struct {
 	// NoPropertyCache disables the property-query memo table (for
 	// measuring its effect; the verdicts are identical either way).
 	NoPropertyCache bool
+	// Shared, when non-nil, attaches the cross-compilation memo layer:
+	// expressions interned and property verdicts proved by one compilation
+	// serve every other compilation with the same program identity
+	// (source + analysis-relevant options). Batches attach one
+	// automatically; servers share one across requests. Verdicts are
+	// identical with or without it.
+	Shared *SharedAnalysisCache
+	// NoSharedCache keeps this compilation (and, on a batch, every item)
+	// on private per-compilation tables even when Shared is available —
+	// the ablation measuring what cross-compilation sharing buys.
+	NoSharedCache bool
 	// NoExprIntern disables expression hash-consing (the ablation proving
 	// interning changes performance, never output: results are byte-identical
 	// either way).
@@ -196,6 +207,19 @@ func compile(ctx context.Context, guard *comperr.Guard, src string, mode paralle
 	start := time.Now()
 	rec := opts.Recorder
 	res := &Result{LoC: countLoC(src), Recorder: rec}
+
+	// Cross-compilation sharing: scope the shared tables by program
+	// identity, computed over the pristine source before any pass mutates
+	// the program. Debug telemetry opts out — a replayed verdict would
+	// skip the propagation steps the event stream promises to show.
+	shared := opts.Shared
+	if opts.NoSharedCache || rec.DebugEnabled() {
+		shared = nil
+	}
+	var scope string
+	if shared != nil {
+		scope = programKey(src, mode, org, opts)
+	}
 
 	// phase times a pipeline phase into the Result breakdown and, with
 	// telemetry on, opens a matching span. Opening a phase is also a
@@ -325,8 +349,14 @@ func compile(ctx context.Context, guard *comperr.Guard, src string, mode paralle
 			end()
 			return nil, err
 		}
-		if opts.NoExprIntern {
+		switch {
+		case opts.NoExprIntern:
 			hp.In = nil
+		case shared != nil:
+			// Back the compilation's interner with the process-wide
+			// sharded table: first sightings adopt the representative an
+			// identical compilation already installed.
+			hp.In = shared.In.Interner(scope)
 		}
 	}
 	end()
@@ -341,6 +371,10 @@ func compile(ctx context.Context, guard *comperr.Guard, src string, mode paralle
 		pz.Property().NoCache = opts.NoPropertyCache
 		if org == Original {
 			pz.Property().Intraprocedural = true
+		}
+		if shared != nil && !opts.NoPropertyCache {
+			pz.Property().Shared = shared.Memo
+			pz.Property().SharedScope = scope
 		}
 	}
 	reports := pz.Run()
@@ -382,6 +416,15 @@ func compile(ctx context.Context, guard *comperr.Guard, src string, mode paralle
 		rec.Count("property.cache_hits", int64(st.CacheHits))
 		rec.Count("property.cache_misses", int64(st.CacheMisses))
 		rec.Count("property.cache_invalidations", int64(st.CacheInvalidations))
+		// Which of several identical in-flight compilations reaches the
+		// shared table first is scheduling, not analysis: the shared_*
+		// counters — and the work counters (queries, nodes_visited) a
+		// shared hit suppresses — may differ across job counts when a
+		// batch holds duplicated inputs. Equivalence checks across
+		// sharing configurations must exclude them, as they exclude
+		// expr.intern.* below.
+		rec.Count("property.shared_hits", int64(st.SharedHits))
+		rec.Count("property.shared_misses", int64(st.SharedMisses))
 		// The expr.intern.* counters differ between the intern-on and
 		// intern-off configurations by construction; equivalence checks
 		// must exclude them (everything else is identical).

@@ -1,0 +1,67 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"repro/internal/core/property"
+	"repro/internal/expr"
+	"repro/internal/parallel"
+)
+
+// SharedAnalysisCache is the cross-compilation memo layer: a sharded
+// expression interner plus a sharded property-verdict table, both safe for
+// concurrent use by many in-flight compilations. Batches create one
+// automatically (see CompileBatchContext); long-lived servers create one per
+// process and hand it to every request through Options.Shared, so a verdict
+// proved for one request serves every later identical request.
+//
+// Sharing is keyed by program identity (programKey): only compilations of
+// byte-identical source under identical analysis-relevant options ever see
+// each other's entries. Within such a scope the analyses are deterministic,
+// so a replayed entry is exactly what the reader would have computed —
+// sharing changes time, never output. The interchange phase, which mutates
+// the program mid-compilation, deliberately stays on private tables.
+type SharedAnalysisCache struct {
+	// In dedupes canonical expressions across compilations.
+	In *expr.SharedInterner
+	// Memo replays property-query verdicts across compilations.
+	Memo *property.SharedMemo
+}
+
+// NewSharedAnalysisCache builds an empty cache ready for concurrent use.
+func NewSharedAnalysisCache() *SharedAnalysisCache {
+	return &SharedAnalysisCache{In: expr.NewSharedInterner(), Memo: property.NewSharedMemo()}
+}
+
+// SharedCacheStats snapshots both tables' counters.
+type SharedCacheStats struct {
+	Intern expr.SharedInternStats   `json:"intern"`
+	Memo   property.SharedMemoStats `json:"memo"`
+}
+
+// Stats snapshots the cache counters (zero for a nil cache).
+func (c *SharedAnalysisCache) Stats() SharedCacheStats {
+	if c == nil {
+		return SharedCacheStats{}
+	}
+	return SharedCacheStats{Intern: c.In.Stats(), Memo: c.Memo.Stats()}
+}
+
+// programKey fingerprints one compilation for the shared tables: the source
+// text plus every option that can steer the analyses (mode, phase
+// organization, interchange, interning, limits). Two compilations with equal
+// keys run the identical phase sequence over the identical program, so their
+// interned expressions and property verdicts are interchangeable.
+// Scheduling-only options (Jobs, Recorder, Lint) are deliberately excluded —
+// they cannot change what the analyses compute.
+func programKey(src string, mode parallel.Mode, org Organization, opts Options) string {
+	h := sha256.New()
+	io.WriteString(h, src)
+	fmt.Fprintf(h, "\x00%d\x00%d\x00%t\x00%t\x00%t\x00%d\x00%d",
+		mode, org, opts.Interchange, opts.NoExprIntern, opts.NoPropertyCache,
+		opts.Limits.MaxQuerySteps, opts.Limits.MaxSourceBytes)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

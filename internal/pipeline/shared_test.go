@@ -1,0 +1,150 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// dupInputs builds a batch of n byte-identical copies of one kernel — the
+// workload the shared cache exists for.
+func dupInputs(t *testing.T, n int) []BatchInput {
+	t.Helper()
+	k, err := kernels.ByName("trfd", kernels.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := make([]BatchInput, n)
+	for i := range ins {
+		ins[i] = BatchInput{Name: k.Name, Src: k.Source}
+	}
+	return ins
+}
+
+// verdictLog renders everything the shared cache must not change: per-item
+// summaries (durations normalized) and the decision log.
+func verdictLog(br *BatchResult) string {
+	return durations.ReplaceAllString(br.Summary(), "T") + "\n" + br.Explain()
+}
+
+// TestSharedCacheAblationIdenticalOutput is the sharing acceptance check:
+// the same batch with the shared cache on and off (and the distinct-kernel
+// batch, where sharing cannot fire) must produce byte-identical summaries,
+// decision logs and loop verdicts.
+func TestSharedCacheAblationIdenticalOutput(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ins  []BatchInput
+	}{
+		{"duplicated", dupInputs(t, 4)},
+		{"distinct", batchInputs()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			on := CompileBatch(tc.ins, parallel.Full, Reorganized, Options{Jobs: 1, Recorder: obs.New()})
+			off := CompileBatch(tc.ins, parallel.Full, Reorganized, Options{Jobs: 1, Recorder: obs.New(), NoSharedCache: true})
+			if err := on.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if err := off.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := verdictLog(on), verdictLog(off); got != want {
+				t.Errorf("output differs with sharing on vs off:\n--- shared\n%s\n--- private\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestSharedCacheServesDuplicates checks a duplicated batch actually shares:
+// later items replay the first item's verdicts instead of re-proving, and
+// the shared interner converges duplicates onto resident representatives.
+func TestSharedCacheServesDuplicates(t *testing.T) {
+	shared := NewSharedAnalysisCache()
+	br := CompileBatch(dupInputs(t, 4), parallel.Full, Reorganized, Options{Jobs: 1, Shared: shared})
+	if err := br.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st := br.Stats()
+	if st.SharedHits == 0 {
+		t.Error("duplicated batch earned no shared property hits")
+	}
+	// Serially, items 2..4 must replay every verdict item 1 proved: the
+	// whole batch performs exactly one item's worth of propagations.
+	solo := CompileBatch(dupInputs(t, 1), parallel.Full, Reorganized, Options{Jobs: 1, NoSharedCache: true})
+	if err := solo.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := solo.Stats().Queries; st.Queries != want {
+		t.Errorf("duplicated batch ran %d propagations, want %d (one item's worth)", st.Queries, want)
+	}
+	cs := shared.Stats()
+	if cs.Intern.Hits == 0 {
+		t.Error("duplicated batch earned no shared interner hits")
+	}
+	if cs.Memo.Hits == 0 || cs.Memo.Entries == 0 {
+		t.Errorf("shared memo hits=%d entries=%d, want both > 0", cs.Memo.Hits, cs.Memo.Entries)
+	}
+}
+
+// TestSharedCacheDuplicatesDeterministicAcrossJobs compiles a duplicated
+// batch at -jobs 1 and -jobs 8 with sharing on: every scheduling-independent
+// output must match. The property work counters (queries, nodes_visited,
+// shared hits/misses) are legitimately racy here — which duplicate proves
+// and which replays depends on arrival order — and are excluded, exactly as
+// documented on CompileBatch. Run with -race.
+func TestSharedCacheDuplicatesDeterministicAcrossJobs(t *testing.T) {
+	run := func(jobs int) *BatchResult {
+		br := CompileBatch(dupInputs(t, 6), parallel.Full, Reorganized, Options{Jobs: jobs, Recorder: obs.New()})
+		if err := br.Err(); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return br
+	}
+	b1, b8 := run(1), run(8)
+	if got, want := verdictLog(b8), verdictLog(b1); got != want {
+		t.Errorf("verdicts differ between -jobs 1 and -jobs 8 with sharing on:\n--- jobs=1\n%s\n--- jobs=8\n%s", want, got)
+	}
+	racy := map[string]bool{
+		"property.queries":       true,
+		"property.nodes_visited": true,
+		"property.shared_hits":   true,
+		"property.shared_misses": true,
+		"property.cache_misses":  false,
+	}
+	c1, c8 := b1.Counters(), b8.Counters()
+	for k, v1 := range c1 {
+		if racy[k] {
+			continue
+		}
+		if v8 := c8[k]; v8 != v1 {
+			t.Errorf("counter %s differs: jobs=1 %d, jobs=8 %d", k, v1, v8)
+		}
+	}
+}
+
+// TestSharedCacheDebugTelemetryOptsOut checks a debug-telemetry compilation
+// never consults the shared tables: its event stream must contain the full
+// propagation trace, which a replayed verdict would skip.
+func TestSharedCacheDebugTelemetryOptsOut(t *testing.T) {
+	shared := NewSharedAnalysisCache()
+	// Warm the cache without debug...
+	warm := CompileBatch(dupInputs(t, 1), parallel.Full, Reorganized, Options{Jobs: 1, Shared: shared})
+	if err := warm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// ...then compile the identical program with debug telemetry.
+	k := dupInputs(t, 1)[0]
+	res, err := CompileOpts(k.Src, parallel.Full, Reorganized, Options{Recorder: obs.NewDebug(), Shared: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PropertyStats.SharedHits != 0 || res.PropertyStats.SharedMisses != 0 {
+		t.Errorf("debug compilation touched the shared tables (hits=%d misses=%d)",
+			res.PropertyStats.SharedHits, res.PropertyStats.SharedMisses)
+	}
+	if res.PropertyStats.Queries == 0 {
+		t.Error("debug compilation should have run its own propagations")
+	}
+}

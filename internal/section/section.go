@@ -13,6 +13,7 @@ package section
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/expr"
 )
@@ -98,20 +99,33 @@ func (s *Section) Key() string {
 	return s.key
 }
 
+// keyScratch recycles the assembly buffer of renderKey. Sections are keyed
+// constantly on the analysis hot path (every memo probe); with interned
+// bounds (String is a field read) the pooled scratch leaves exactly one
+// allocation per render — the key string itself.
+var keyScratch = sync.Pool{New: func() any {
+	b := make([]byte, 0, 128)
+	return &b
+}}
+
 func (s *Section) renderKey() string {
-	var sb strings.Builder
-	sb.WriteString(s.Array)
+	bp := keyScratch.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, s.Array...)
 	for _, d := range s.Dims {
-		sb.WriteByte('|')
+		b = append(b, '|')
 		if d.Lo != nil {
-			sb.WriteString(d.Lo.String())
+			b = append(b, d.Lo.String()...)
 		}
-		sb.WriteByte(';')
+		b = append(b, ';')
 		if d.Hi != nil {
-			sb.WriteString(d.Hi.String())
+			b = append(b, d.Hi.String()...)
 		}
 	}
-	return sb.String()
+	key := string(b)
+	*bp = b
+	keyScratch.Put(bp)
+	return key
 }
 
 // ProvablyEmpty reports whether some dimension's range is provably empty

@@ -99,6 +99,14 @@ func normalizeMetrics(t *testing.T, raw []byte) map[string]any {
 			delete(p.(map[string]any), "ns")
 		}
 	}
+	// The shared-analysis-cache counters describe the sharing
+	// configuration (the server attaches a process-wide cache; a bare
+	// library compile has none), not the compilation — the documented
+	// equivalence rule excludes them.
+	if counters, ok := m["counters"].(map[string]any); ok {
+		delete(counters, "property.shared_hits")
+		delete(counters, "property.shared_misses")
+	}
 	return m
 }
 
