@@ -10,6 +10,7 @@
 //	irrbench -expr-report out.json [-jobs N]
 //	irrbench -obs-report out.json [-obs-kernel trfd]
 //	irrbench -serve-load out.json [-load-kernel trfd] [-load-requests N] [-load-conc N]
+//	irrbench -gateway-load out.json [-gw-backends M] [-gw-requests N] [-gw-conc N]
 //
 // With no selection flags, everything is printed. -metrics additionally
 // writes one machine-readable metrics document per kernel ("-": stdout);
@@ -28,6 +29,12 @@
 // throughput, coalescing rate under a concurrent identical burst, and the
 // byte-identity of cached responses — and writes the irr-servecache/1
 // JSON document, the BENCH_cache.json payload.
+// -gateway-load boots fleets of in-process irrd backends behind the irrgw
+// consistent-hash gateway and measures throughput as the fleet grows,
+// whether affinity routing preserves the cache hit rate, byte-identity of
+// proxied responses, and availability when one backend is hard-killed
+// under load — the irr-gateway/1 JSON document, the BENCH_gateway.json
+// payload.
 // -cpuprofile / -memprofile write pprof profiles of whatever the invocation
 // ran.
 package main
@@ -65,6 +72,10 @@ func main() {
 	loadKernel := flag.String("load-kernel", "trfd", "kernel for -serve-load")
 	loadRequests := flag.Int("load-requests", 0, "warm-phase request count for -serve-load (0: 500)")
 	loadConc := flag.Int("load-conc", 0, "client concurrency for -serve-load (0: 2*GOMAXPROCS)")
+	gatewayLoad := flag.String("gateway-load", "", "measure the irrgw consistent-hash gateway over irrd fleets; write JSON to this path (\"-\" for stdout)")
+	gwBackends := flag.Int("gw-backends", 0, "largest fleet size for -gateway-load (0: 3)")
+	gwRequests := flag.Int("gw-requests", 0, "per-phase request count for -gateway-load (0: 400)")
+	gwConc := flag.Int("gw-conc", 0, "client concurrency for -gateway-load (0: 2*GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this path at exit")
 	flag.Parse()
@@ -178,7 +189,18 @@ func main() {
 		}
 		writeOut(*serveLoad, append(data, '\n'))
 	}
-	anyReport := *metrics != "" || *scalingReport != "" || *exprReport != "" || *obsReport != "" || *serveLoad != ""
+	if *gatewayLoad != "" {
+		rep, err := servebench.MeasureGatewayLoad(*gwRequests, *gwConc, *gwBackends)
+		if err != nil {
+			fail(err)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		writeOut(*gatewayLoad, append(data, '\n'))
+	}
+	anyReport := *metrics != "" || *scalingReport != "" || *exprReport != "" || *obsReport != "" || *serveLoad != "" || *gatewayLoad != ""
 	if anyReport && !*t2 && !*t3 && !*f16 {
 		return
 	}

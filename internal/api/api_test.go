@@ -1,0 +1,133 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		name    string
+		req     CompileRequest
+		wantErr string // substring; "" means success
+	}{
+		{"src only", CompileRequest{Src: "program p\nend\n"}, ""},
+		{"kernel only", CompileRequest{Kernel: "trfd"}, ""},
+		{"both", CompileRequest{Src: "x", Kernel: "trfd"}, "mutually exclusive"},
+		{"neither", CompileRequest{}, "required"},
+		{"unknown kernel", CompileRequest{Kernel: "nope"}, `unknown kernel "nope"`},
+		{"unknown mode", CompileRequest{Src: "x", Mode: "turbo"}, `unknown mode "turbo"`},
+		{"known mode", CompileRequest{Src: "x", Mode: "NoIAA"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.req.Normalize()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Normalize: %v", err)
+				}
+				if tc.req.Src == "" {
+					t.Error("normalized request has no source")
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestAffinityDigest(t *testing.T) {
+	base := CompileRequest{Src: "program p\nend\n"}
+	d := base.AffinityDigest(false)
+	if len(d) != 64 {
+		t.Fatalf("digest %q is not hex sha256", d)
+	}
+	if base.AffinityDigest(false) != d {
+		t.Error("digest is not deterministic")
+	}
+	// The default mode spells identically whether implicit or explicit.
+	full := base
+	full.Mode = "Full"
+	if full.AffinityDigest(false) != d {
+		t.Error("mode \"Full\" and \"\" digest differently")
+	}
+	// Every artifact-changing field moves the digest.
+	variants := []CompileRequest{
+		{Src: "program q\nend\n"},
+		{Src: base.Src, Mode: "noiaa"},
+		{Src: base.Src, Intraprocedural: true},
+		{Src: base.Src, Interchange: true},
+	}
+	seen := map[string]bool{d: true, base.AffinityDigest(true): true}
+	if len(seen) != 2 {
+		t.Error("lint phase does not move the digest")
+	}
+	for i, v := range variants {
+		vd := v.AffinityDigest(false)
+		if seen[vd] {
+			t.Errorf("variant %d collides", i)
+		}
+		seen[vd] = true
+	}
+	// Explain/trace are telemetry-only: the compiled artifact is the same.
+	dbg := base
+	dbg.Explain, dbg.Trace = true, true
+	if dbg.AffinityDigest(false) != d {
+		t.Error("explain/trace changed the affinity digest")
+	}
+}
+
+func TestDigestPartsBoundaries(t *testing.T) {
+	if DigestParts("ab", "c") == DigestParts("a", "bc") {
+		t.Error("part boundaries are ambiguous")
+	}
+	if DigestParts("x") != DigestParts("x") {
+		t.Error("digest is not deterministic")
+	}
+}
+
+func TestStatusForKind(t *testing.T) {
+	want := map[string]int{
+		KindParse:         http.StatusBadRequest,
+		KindAnalysis:      http.StatusUnprocessableEntity,
+		KindResourceLimit: http.StatusRequestEntityTooLarge,
+		KindOverCapacity:  http.StatusTooManyRequests,
+		KindCanceled:      http.StatusGatewayTimeout,
+		KindUnavailable:   http.StatusServiceUnavailable,
+		KindInternal:      http.StatusInternalServerError,
+		"anything else":   http.StatusInternalServerError,
+	}
+	for kind, status := range want {
+		if got := StatusForKind(kind); got != status {
+			t.Errorf("StatusForKind(%q) = %d, want %d", kind, got, status)
+		}
+	}
+}
+
+func TestWriteErrorEnvelope(t *testing.T) {
+	rr := httptest.NewRecorder()
+	WriteError(rr, KindParse, "bad program", "req-7")
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rr.Code)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(rr.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Err.Kind != KindParse || env.Err.Message != "bad program" || env.Err.RequestID != "req-7" {
+		t.Errorf("envelope = %+v", env.Err)
+	}
+	// The wire field names are the contract.
+	var raw map[string]map[string]string
+	if err := json.Unmarshal(rr.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw["error"]["kind"] != "parse" || raw["error"]["request_id"] != "req-7" {
+		t.Errorf("wire shape = %v", raw)
+	}
+}

@@ -1,0 +1,120 @@
+package api_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/server"
+)
+
+const demoSrc = `
+program demo
+  param n = 32
+  real a(n), b(n)
+  integer i
+  do i = 1, n
+    b(i) = real(i)
+  end do
+  do i = 1, n
+    a(i) = b(i) * 2.0
+  end do
+  print "done", a(1)
+end
+`
+
+func newClient(t *testing.T) *api.Client {
+	t.Helper()
+	ts := httptest.NewServer(server.New(server.Config{}))
+	t.Cleanup(ts.Close)
+	return api.NewClient(ts.URL)
+}
+
+func TestClientCompileRoundTrip(t *testing.T) {
+	c := newClient(t)
+	ctx := api.WithRequestID(context.Background(), "client-test-1")
+	resp, meta, err := c.Compile(ctx, api.CompileRequest{Src: demoSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Summary, "PARALLEL") {
+		t.Errorf("summary lacks a parallel loop:\n%s", resp.Summary)
+	}
+	if resp.RequestID != "client-test-1" {
+		t.Errorf("request ID did not propagate into the body: %q", resp.RequestID)
+	}
+	if meta.RequestID != "client-test-1" {
+		t.Errorf("request ID not echoed on the header: %q", meta.RequestID)
+	}
+	if meta.Cache != "miss" {
+		t.Errorf("first compile cache outcome = %q, want miss", meta.Cache)
+	}
+	if _, meta2, err := c.Compile(ctx, api.CompileRequest{Src: demoSrc}); err != nil || meta2.Cache != "hit" {
+		t.Errorf("second compile = %v, cache %q; want hit", err, meta2.Cache)
+	}
+}
+
+func TestClientRunAndLintAndKernels(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	rr, _, err := c.Run(ctx, api.RunRequest{
+		CompileRequest: api.CompileRequest{Src: demoSrc},
+		Processors:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Time == 0 {
+		t.Error("zero simulated time")
+	}
+	lr, _, err := c.Lint(ctx, api.CompileRequest{Src: demoSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Diags == nil {
+		t.Error("diags must be present (empty, not null) for a clean program")
+	}
+	ks, err := c.Kernels(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks.Kernels) == 0 {
+		t.Error("no kernels listed")
+	}
+	h, err := c.Healthz(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Errorf("healthz = %+v, %v", h, err)
+	}
+	cnt, err := c.Counters(ctx)
+	if err != nil || cnt["irrd_requests_total"] < 1 {
+		t.Errorf("counters = %v, %v", cnt, err)
+	}
+}
+
+func TestClientStatusError(t *testing.T) {
+	c := newClient(t)
+	ctx := api.WithRequestID(context.Background(), "err-test")
+	_, _, err := c.Compile(ctx, api.CompileRequest{Src: "this is not f-lite"})
+	var se *api.StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v (%T), want *api.StatusError", err, err)
+	}
+	if se.Status != 400 || se.Kind != api.KindParse {
+		t.Errorf("status error = %+v", se)
+	}
+	if se.RequestID != "err-test" {
+		t.Errorf("envelope request_id = %q, want err-test", se.RequestID)
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	c := newClient(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Compile(ctx, api.CompileRequest{Src: demoSrc}); err == nil {
+		t.Fatal("compile under a canceled context succeeded")
+	}
+}

@@ -1,0 +1,426 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+const demoSrc = `
+program demo
+  param n = 32
+  real a(n), b(n)
+  integer i
+  do i = 1, n
+    b(i) = real(i)
+  end do
+  do i = 1, n
+    a(i) = b(i) * 2.0
+  end do
+  print "done", a(1)
+end
+`
+
+// fleet boots m in-process irrd backends and a gateway over them.
+func fleet(t *testing.T, m int, cfg Config) (*Gateway, []*httptest.Server) {
+	t.Helper()
+	backends := make([]*httptest.Server, m)
+	for i := range backends {
+		backends[i] = httptest.NewServer(server.New(server.Config{}))
+		t.Cleanup(backends[i].Close)
+		cfg.Backends = append(cfg.Backends, backends[i].URL)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g, backends
+}
+
+func compileVia(t *testing.T, h http.Handler, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/compile", strings.NewReader(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func reqBody(t *testing.T, src string) string {
+	t.Helper()
+	b, err := json.Marshal(api.CompileRequest{Src: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// Affinity: the same request body must land on the same backend every
+// time, and repeats must be warm in that backend's response cache.
+func TestAffinityRouting(t *testing.T) {
+	g, _ := fleet(t, 3, Config{})
+	body := reqBody(t, demoSrc)
+	var home string
+	for i := 0; i < 6; i++ {
+		w := compileVia(t, g, body, nil)
+		if w.Code != 200 {
+			t.Fatalf("compile %d: status %d: %s", i, w.Code, w.Body.String())
+		}
+		b := w.Header().Get(api.BackendHeader)
+		if b == "" {
+			t.Fatal("missing X-Irrd-Backend")
+		}
+		if home == "" {
+			home = b
+		} else if b != home {
+			t.Fatalf("compile %d routed to %s, earlier ones to %s", i, b, home)
+		}
+		cache := w.Header().Get(api.CacheHeader)
+		if i == 0 && cache != "miss" {
+			t.Errorf("first compile cache = %q, want miss", cache)
+		}
+		if i > 0 && cache != "hit" {
+			t.Errorf("compile %d cache = %q, want hit (affinity broken?)", i, cache)
+		}
+	}
+	// A different program keys differently — over a handful of distinct
+	// sources at least two backends should see traffic.
+	seen := map[string]bool{home: true}
+	for i := 0; i < 8; i++ {
+		src := strings.Replace(demoSrc, "param n = 32", fmt.Sprintf("param n = %d", 33+i), 1)
+		w := compileVia(t, g, reqBody(t, src), nil)
+		if w.Code != 200 {
+			t.Fatalf("variant %d: status %d", i, w.Code)
+		}
+		seen[w.Header().Get(api.BackendHeader)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("9 distinct programs all routed to one backend; spread = %v", seen)
+	}
+}
+
+// Byte identity: for the same X-Request-Id, the gateway response body is
+// exactly the routed backend's body — proxying never re-encodes.
+func TestByteIdenticalToBackend(t *testing.T) {
+	g, backends := fleet(t, 3, Config{})
+	body := reqBody(t, demoSrc)
+	hdr := map[string]string{api.RequestIDHeader: "bytes-1"}
+
+	w := compileVia(t, g, body, hdr)
+	if w.Code != 200 {
+		t.Fatalf("gateway compile: %d", w.Code)
+	}
+	routed := w.Header().Get(api.BackendHeader)
+	var direct *httptest.Server
+	for _, ts := range backends {
+		if strings.Contains(ts.URL, routed) {
+			direct = ts
+		}
+	}
+	if direct == nil {
+		t.Fatalf("backend %q not in fleet", routed)
+	}
+	resp, err := http.Post(direct.URL+"/v1/compile", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	req, _ := http.NewRequest("POST", direct.URL+"/v1/compile", strings.NewReader(body))
+	req.Header.Set(api.RequestIDHeader, "bytes-1")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	db, _ := io.ReadAll(resp2.Body)
+	if !bytes.Equal(w.Body.Bytes(), db) {
+		t.Errorf("gateway body differs from direct backend body:\n--- gateway\n%s\n--- direct\n%s",
+			w.Body.Bytes(), db)
+	}
+	// Errors are byte-identical too: both speak the api envelope.
+	badBody := `{"src":"this is not f-lite"}`
+	wg := compileVia(t, g, badBody, hdr)
+	routedErr := wg.Header().Get(api.BackendHeader)
+	for _, ts := range backends {
+		if strings.Contains(ts.URL, routedErr) {
+			req, _ := http.NewRequest("POST", ts.URL+"/v1/compile", strings.NewReader(badBody))
+			req.Header.Set(api.RequestIDHeader, "bytes-1")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			eb, _ := io.ReadAll(resp.Body)
+			if wg.Code != resp.StatusCode || !bytes.Equal(wg.Body.Bytes(), eb) {
+				t.Errorf("error responses differ: gateway %d %s vs direct %d %s",
+					wg.Code, wg.Body.String(), resp.StatusCode, eb)
+			}
+		}
+	}
+}
+
+// A dead backend in the fleet must never surface as a client error:
+// requests whose first choice is the corpse retry onto the next live
+// backend.
+func TestRetrySkipsDeadBackend(t *testing.T) {
+	g, backends := fleet(t, 3, Config{RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond})
+	backends[0].Close() // kill one; no health loop started, so routing still trusts it
+
+	for i := 0; i < 12; i++ {
+		src := strings.Replace(demoSrc, "param n = 32", fmt.Sprintf("param n = %d", 40+i), 1)
+		w := compileVia(t, g, reqBody(t, src), nil)
+		if w.Code != 200 {
+			t.Fatalf("compile %d: status %d: %s", i, w.Code, w.Body.String())
+		}
+	}
+	// 12 distinct keys over 3 backends: some first choices were the dead
+	// one, so retries must have happened and been counted.
+	if g.rec.Counter("irrgw_retries_total") == 0 {
+		t.Error("no retries recorded though a backend is dead")
+	}
+	// The dead backend's connect failures eject it from routing even
+	// without the probe loop (request outcomes feed the state machine).
+	if g.Live() == 3 {
+		t.Error("dead backend still admitted after repeated connect failures")
+	}
+}
+
+// Upstream 5xx retries to the next backend; 4xx is authoritative and
+// returned as-is.
+func TestRetryOn5xxNotOn4xx(t *testing.T) {
+	var calls500 atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls500.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer flaky.Close()
+	real := httptest.NewServer(server.New(server.Config{}))
+	defer real.Close()
+
+	g, err := New(Config{
+		Backends:  []string{flaky.URL, real.URL},
+		RetryBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// Drive distinct keys until one prefers the flaky backend first.
+	for i := 0; i < 12; i++ {
+		src := strings.Replace(demoSrc, "param n = 32", fmt.Sprintf("param n = %d", 60+i), 1)
+		w := compileVia(t, g, reqBody(t, src), nil)
+		if w.Code != 200 {
+			t.Fatalf("compile %d: status %d: %s", i, w.Code, w.Body.String())
+		}
+	}
+	if calls500.Load() == 0 {
+		t.Skip("hash sent no key to the flaky backend first (unlikely)")
+	}
+	if g.rec.Counter("irrgw_requests_total:backend="+hostOf(flaky.URL)+",outcome=upstream_error") == 0 {
+		t.Error("5xx attempts not counted as upstream_error")
+	}
+
+	// 4xx: a parse error must come straight back, not retry.
+	before := g.rec.Counter("irrgw_retries_total")
+	w := compileVia(t, g, `{"src":"not a program"}`, nil)
+	if w.Code != 400 {
+		t.Fatalf("bad program: status %d, want 400", w.Code)
+	}
+	var env struct {
+		Error api.ErrorBody `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil || env.Error.Kind != api.KindParse {
+		t.Errorf("envelope = %s (err %v)", w.Body.String(), err)
+	}
+	// The 4xx may have routed to the flaky backend (then retried to the
+	// real one), so only assert no retries happened when it went straight
+	// to the real backend.
+	if w.Header().Get(api.BackendHeader) == hostOf(real.URL) &&
+		g.rec.Counter("irrgw_retries_total") > before+1 {
+		t.Error("4xx triggered retries")
+	}
+}
+
+func hostOf(url string) string { return strings.TrimPrefix(url, "http://") }
+
+// With every backend unreachable the gateway answers 503 with the
+// canonical unavailable envelope.
+func TestAllDownUnavailable(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	url := dead.URL
+	dead.Close()
+	g, err := New(Config{
+		Backends:  []string{url},
+		RetryBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	w := compileVia(t, g, reqBody(t, demoSrc), map[string]string{api.RequestIDHeader: "down-1"})
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", w.Code)
+	}
+	var env struct {
+		Error api.ErrorBody `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Kind != api.KindUnavailable || env.Error.RequestID != "down-1" {
+		t.Errorf("envelope = %+v", env.Error)
+	}
+}
+
+// healthToggle wraps an irrd handler, failing /healthz on demand so
+// ejection/readmission can be exercised without killing real listeners.
+type healthToggle struct {
+	inner http.Handler
+	sick  atomic.Bool
+}
+
+func (h *healthToggle) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" && h.sick.Load() {
+		http.Error(w, "sick", http.StatusServiceUnavailable)
+		return
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+// The probe loop ejects a backend whose /healthz fails FailThreshold
+// times and readmits it after PassThreshold successes; the transitions
+// show up in the gauges and counters.
+func TestEjectionAndReadmission(t *testing.T) {
+	toggle := &healthToggle{inner: server.New(server.Config{})}
+	sickTS := httptest.NewServer(toggle)
+	defer sickTS.Close()
+	okTS := httptest.NewServer(server.New(server.Config{}))
+	defer okTS.Close()
+
+	g, err := New(Config{
+		Backends:      []string{sickTS.URL, okTS.URL},
+		ProbeInterval: 5 * time.Millisecond,
+		FailThreshold: 2,
+		PassThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	g.Start()
+
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", desc)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	waitFor("both live", func() bool { return g.Live() == 2 })
+	toggle.sick.Store(true)
+	waitFor("ejection", func() bool { return g.Live() == 1 })
+	if g.rec.Counter("irrgw_ejections_total") == 0 {
+		t.Error("ejection not counted")
+	}
+	if g.rec.Counter("irrgw_backend_up:backend="+hostOf(sickTS.URL)) != 0 {
+		t.Error("up gauge not zeroed on ejection")
+	}
+
+	// While ejected, requests still succeed (routed to the healthy one).
+	w := compileVia(t, g, reqBody(t, demoSrc), nil)
+	if w.Code != 200 {
+		t.Fatalf("compile during ejection: %d", w.Code)
+	}
+
+	toggle.sick.Store(false)
+	waitFor("readmission", func() bool { return g.Live() == 2 })
+	if g.rec.Counter("irrgw_readmissions_total") == 0 {
+		t.Error("readmission not counted")
+	}
+
+	// Gateway /healthz reflects the fleet view.
+	hw := httptest.NewRecorder()
+	g.ServeHTTP(hw, httptest.NewRequest("GET", "/healthz", nil))
+	var hz api.GatewayHealthz
+	if err := json.Unmarshal(hw.Body.Bytes(), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.Live != 2 || len(hz.Backends) != 2 {
+		t.Errorf("gateway healthz = %+v", hz)
+	}
+}
+
+// The gateway's own /metrics speaks valid Prometheus exposition with the
+// multi-label request counters.
+func TestGatewayMetricsExposition(t *testing.T) {
+	g, _ := fleet(t, 2, Config{})
+	for i := 0; i < 3; i++ {
+		if w := compileVia(t, g, reqBody(t, demoSrc), nil); w.Code != 200 {
+			t.Fatalf("compile: %d", w.Code)
+		}
+	}
+	w := httptest.NewRecorder()
+	g.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	samples, err := obs.ParsePrometheus(w.Body.String())
+	if err != nil {
+		t.Fatalf("metrics do not parse: %v\n%s", err, w.Body.String())
+	}
+	var okTotal float64
+	for _, s := range samples {
+		if s.Name == "irrgw_requests_total" && s.Labels["outcome"] == "ok" {
+			if s.Labels["backend"] == "" {
+				t.Errorf("request counter without backend label: %+v", s)
+			}
+			okTotal += s.Value
+		}
+	}
+	if okTotal != 3 {
+		t.Errorf("sum of ok request counters = %v, want 3", okTotal)
+	}
+	// JSON content negotiation mirrors irrd.
+	jw := httptest.NewRecorder()
+	jr := httptest.NewRequest("GET", "/metrics", nil)
+	jr.Header.Set("Accept", "application/json")
+	g.ServeHTTP(jw, jr)
+	var doc struct {
+		Schema   string           `json:"schema"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(jw.Body.Bytes(), &doc); err != nil || doc.Schema != "irrgw-metrics/1" {
+		t.Errorf("JSON metrics = %s (err %v)", jw.Body.String(), err)
+	}
+}
+
+// GET /v1/kernels proxies like everything else and carries the backend
+// header.
+func TestKernelsProxied(t *testing.T) {
+	g, _ := fleet(t, 2, Config{})
+	w := httptest.NewRecorder()
+	g.ServeHTTP(w, httptest.NewRequest("GET", "/v1/kernels", nil))
+	if w.Code != 200 || w.Header().Get(api.BackendHeader) == "" {
+		t.Fatalf("kernels: %d, backend %q", w.Code, w.Header().Get(api.BackendHeader))
+	}
+	var ks api.KernelsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &ks); err != nil || len(ks.Kernels) == 0 {
+		t.Errorf("kernels = %s (err %v)", w.Body.String(), err)
+	}
+}

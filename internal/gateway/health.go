@@ -1,0 +1,105 @@
+package gateway
+
+import (
+	"context"
+	"log/slog"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+)
+
+// Active health checking: one loop per backend probes GET /healthz every
+// ProbeInterval. FailThreshold consecutive probe failures eject the
+// backend from routing (irrgw_ejections_total, irrgw_backend_up → 0);
+// PassThreshold consecutive successes readmit it
+// (irrgw_readmissions_total, irrgw_backend_up → 1). Request outcomes
+// also feed the same counters — a connect failure during proxying counts
+// like a failed probe, so a dead backend is usually ejected before the
+// next probe tick fires.
+
+func (g *Gateway) healthLoop(b *backend) {
+	defer g.wg.Done()
+	// Desynchronize the fleet's probes so M backends aren't all probed in
+	// the same instant.
+	jitter := time.Duration(rand.Int64N(int64(g.cfg.ProbeInterval)))
+	select {
+	case <-g.stop:
+		return
+	case <-time.After(jitter):
+	}
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		g.probe(b)
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probe runs one health check and feeds the verdict into the
+// ejection/readmission state machine.
+func (g *Gateway) probe(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	defer cancel()
+	h, err := b.client.Healthz(ctx)
+	g.rec.Count("irrgw_probes_total:backend="+b.name, 1)
+	if err != nil || h.Status != "ok" {
+		g.noteFailure(b)
+		return
+	}
+	g.noteSuccess(b)
+}
+
+// noteFailure records one failed probe (or failed proxied request) and
+// ejects the backend once FailThreshold is reached.
+func (g *Gateway) noteFailure(b *backend) {
+	fails := b.consecFail.add(1)
+	b.consecPass.store(0)
+	if fails >= int64(g.cfg.FailThreshold) && b.up.swap(false) {
+		g.rec.Count("irrgw_ejections_total", 1)
+		g.rec.Count("irrgw_backend_up:backend="+b.name, -1)
+		g.log.LogAttrs(context.Background(), slog.LevelWarn, "backend ejected",
+			slog.String("backend", b.name), slog.Int64("consecutive_failures", fails))
+	}
+}
+
+// noteSuccess records one healthy probe and readmits an ejected backend
+// once PassThreshold is reached.
+func (g *Gateway) noteSuccess(b *backend) {
+	b.consecFail.store(0)
+	passes := b.consecPass.add(1)
+	if passes >= int64(g.cfg.PassThreshold) && b.up.swap(true) {
+		g.rec.Count("irrgw_readmissions_total", 1)
+		g.rec.Count("irrgw_backend_up:backend="+b.name, 1)
+		g.log.LogAttrs(context.Background(), slog.LevelInfo, "backend readmitted",
+			slog.String("backend", b.name), slog.Int64("consecutive_passes", passes))
+	}
+}
+
+// --- tiny atomics wrappers ---
+
+func (f *boolFlag) load() bool { return atomic.LoadInt32(&f.v) == 1 }
+
+func (f *boolFlag) store(v bool) {
+	var n int32
+	if v {
+		n = 1
+	}
+	atomic.StoreInt32(&f.v, n)
+}
+
+// swap sets the flag to v and reports whether it changed.
+func (f *boolFlag) swap(v bool) bool {
+	var n int32
+	if v {
+		n = 1
+	}
+	return atomic.SwapInt32(&f.v, n) != n
+}
+
+func (c *counter) add(d int64) int64 { return atomic.AddInt64(&c.v, d) }
+func (c *counter) load() int64       { return atomic.LoadInt64(&c.v) }
+func (c *counter) store(v int64)     { atomic.StoreInt64(&c.v, v) }

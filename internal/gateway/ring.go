@@ -1,0 +1,56 @@
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// The gateway routes with rendezvous (highest-random-weight) hashing
+// rather than a classic token ring: every (backend, key) pair gets an
+// independent pseudo-random score, and a key's preference order is the
+// backends sorted by descending score. The properties the gateway needs
+// fall out directly:
+//
+//   - Determinism: the score depends only on the backend's canonical name
+//     and the key, so every gateway instance — regardless of the order
+//     backends were configured in — computes the same preference order.
+//   - Minimal disruption: removing a backend only reassigns the keys
+//     whose first choice was the removed backend (~1/M of the corpus);
+//     every other key's top pick is untouched. Readmission restores
+//     exactly the keys it owned.
+//   - Graceful failover: the preference order doubles as the retry
+//     order — a key whose first-choice backend is ejected falls to its
+//     second choice, which is again stable, so the fallback backend's
+//     cache warms for exactly the keys it inherits.
+
+// score is the rendezvous weight of key on the backend named name. FNV-1a
+// over name\x00key: not cryptographic, just well-mixed and dependency-free
+// (the affinity key is already a SHA-256 hex digest, so adversarial
+// clustering is not a concern).
+func score(name, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// rank returns the indices of names in descending rendezvous-score order
+// for key, ties broken by name so the order is total and
+// list-order-independent.
+func rank(names []string, key string) []int {
+	idx := make([]int, len(names))
+	scores := make([]uint64, len(names))
+	for i, n := range names {
+		idx[i] = i
+		scores[i] = score(n, key)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if scores[ia] != scores[ib] {
+			return scores[ia] > scores[ib]
+		}
+		return names[ia] < names[ib]
+	})
+	return idx
+}

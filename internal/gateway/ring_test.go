@@ -1,0 +1,124 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return out
+}
+
+// The preference order of a key must depend only on the backend SET, not
+// the order the gateway was configured with: every permutation of the
+// name list yields the same ranked name sequence.
+func TestRankOrderIndependent(t *testing.T) {
+	names := []string{"b1:1", "b2:2", "b3:3", "b4:4", "b5:5"}
+	perms := [][]string{
+		{"b1:1", "b2:2", "b3:3", "b4:4", "b5:5"},
+		{"b5:5", "b4:4", "b3:3", "b2:2", "b1:1"},
+		{"b3:3", "b1:1", "b5:5", "b2:2", "b4:4"},
+	}
+	for _, key := range keys(200) {
+		var want []string
+		for _, i := range rank(names, key) {
+			want = append(want, names[i])
+		}
+		for _, perm := range perms {
+			var got []string
+			for _, i := range rank(perm, key) {
+				got = append(got, perm[i])
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("key %s: order %v under %v, want %v", key[:8], got, perm, want)
+				}
+			}
+		}
+	}
+}
+
+// rank must be a permutation of the index set and stable across calls.
+func TestRankIsStablePermutation(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	for _, key := range keys(50) {
+		one, two := rank(names, key), rank(names, key)
+		seen := map[int]bool{}
+		for j, i := range one {
+			if i < 0 || i >= len(names) || seen[i] {
+				t.Fatalf("rank(%q) = %v is not a permutation", key[:8], one)
+			}
+			seen[i] = true
+			if two[j] != i {
+				t.Fatalf("rank(%q) unstable: %v vs %v", key[:8], one, two)
+			}
+		}
+	}
+}
+
+// Minimal disruption: removing one of M backends must remap exactly the
+// keys whose first choice was the removed backend — every other key's
+// winner is untouched — and that set is ~1/M of the corpus.
+func TestRankMinimalDisruption(t *testing.T) {
+	const m = 5
+	names := make([]string, m)
+	for i := range names {
+		names[i] = fmt.Sprintf("10.0.0.%d:8080", i+1)
+	}
+	corpus := keys(2000)
+
+	for removed := 0; removed < m; removed++ {
+		rest := make([]string, 0, m-1)
+		for i, n := range names {
+			if i != removed {
+				rest = append(rest, n)
+			}
+		}
+		moved := 0
+		for _, key := range corpus {
+			before := names[rank(names, key)[0]]
+			after := rest[rank(rest, key)[0]]
+			if before != names[removed] {
+				if after != before {
+					t.Fatalf("key %s moved %s→%s though %s was removed",
+						key[:8], before, after, names[removed])
+				}
+				continue
+			}
+			moved++
+			// An orphaned key must land on its SECOND choice in the
+			// original ranking — the failover order is the preference order.
+			second := names[rank(names, key)[1]]
+			if after != second {
+				t.Fatalf("key %s fell to %s, want second choice %s", key[:8], after, second)
+			}
+		}
+		frac := float64(moved) / float64(len(corpus))
+		if frac > 2.0/m || frac == 0 {
+			t.Errorf("removing %s remapped %.1f%% of keys, want ~%.1f%%",
+				names[removed], frac*100, 100.0/m)
+		}
+	}
+}
+
+// Keys spread roughly evenly: no backend owns a wildly disproportionate
+// share (loose bound — FNV is not perfect, but 2000 keys over 5 backends
+// should stay within half-to-double of the fair share).
+func TestRankBalance(t *testing.T) {
+	names := []string{"n1:1", "n2:2", "n3:3", "n4:4", "n5:5"}
+	owned := map[string]int{}
+	corpus := keys(2000)
+	for _, key := range corpus {
+		owned[names[rank(names, key)[0]]]++
+	}
+	fair := len(corpus) / len(names)
+	for n, c := range owned {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("backend %s owns %d keys, fair share %d", n, c, fair)
+		}
+	}
+}

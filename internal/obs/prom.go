@@ -26,20 +26,50 @@ import (
 // ContentType is the exposition format media type for HTTP responses.
 const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// labelPair is one parsed label of an internal metric name.
+type labelPair struct{ k, v string }
+
 // promName splits an internal name into the sanitized metric base name
-// and an optional single label pair.
-func promName(name string) (base, labelKey, labelVal string) {
+// and its label pairs. Labels follow "base:k1=v1,k2=v2" (values must not
+// contain ',' or '='); the legacy "base:value" form labels the value as
+// kind.
+func promName(name string) (base string, labels []labelPair) {
 	if i := strings.IndexByte(name, ':'); i >= 0 {
 		tail := name[i+1:]
 		name = name[:i]
-		if j := strings.IndexByte(tail, '='); j >= 0 {
-			labelKey, labelVal = sanitize(tail[:j]), tail[j+1:]
-		} else {
+		if strings.IndexByte(tail, '=') < 0 {
 			// Legacy "base:value" names label the value as kind.
-			labelKey, labelVal = "kind", tail
+			labels = []labelPair{{"kind", tail}}
+		} else {
+			for _, part := range strings.Split(tail, ",") {
+				if j := strings.IndexByte(part, '='); j >= 0 {
+					labels = append(labels, labelPair{sanitize(part[:j]), part[j+1:]})
+				} else {
+					labels = append(labels, labelPair{"kind", part})
+				}
+			}
 		}
 	}
-	return sanitize(name), labelKey, labelVal
+	return sanitize(name), labels
+}
+
+// renderLabels formats pairs (plus any extras) as a {k="v",...} block, or
+// "" with no labels at all.
+func renderLabels(pairs []labelPair, extra ...labelPair) string {
+	all := append(append([]labelPair(nil), pairs...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, escapeLabel(p.v))
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // sanitize maps a name onto the Prometheus identifier alphabet
@@ -102,20 +132,16 @@ func WritePrometheus(w io.Writer, r *Recorder) error {
 	}
 
 	for name, v := range r.Counters() {
-		base, lk, lv := promName(name)
+		base, pairs := promName(name)
 		typ := "gauge"
 		if strings.HasSuffix(base, "_total") {
 			typ = "counter"
 		}
-		labels := ""
-		if lk != "" {
-			labels = fmt.Sprintf(`{%s=%q}`, lk, escapeLabel(lv))
-		}
-		add(base, typ, series{labels: labels, value: strconv.FormatInt(v, 10)})
+		add(base, typ, series{labels: renderLabels(pairs), value: strconv.FormatInt(v, 10)})
 	}
 
 	for _, h := range r.Histograms() {
-		base, lk, lv := promName(h.Name)
+		base, pairs := promName(h.Name)
 		if !strings.HasSuffix(base, "_seconds") {
 			base += "_seconds"
 		}
@@ -126,19 +152,12 @@ func WritePrometheus(w io.Writer, r *Recorder) error {
 			if i < len(BucketBoundsNs) {
 				le = formatSeconds(float64(BucketBoundsNs[i]) / 1e9)
 			}
-			labels := fmt.Sprintf(`{le=%q}`, le)
-			if lk != "" {
-				labels = fmt.Sprintf(`{%s=%q,le=%q}`, lk, escapeLabel(lv), le)
-			}
+			labels := renderLabels(pairs, labelPair{"le", le})
 			add(base+"_bucket", "", series{labels: labels, value: strconv.FormatInt(cum, 10)})
 		}
-		sumLabels, countLabels := "", ""
-		if lk != "" {
-			sumLabels = fmt.Sprintf(`{%s=%q}`, lk, escapeLabel(lv))
-			countLabels = sumLabels
-		}
+		sumLabels := renderLabels(pairs)
 		add(base+"_sum", "", series{labels: sumLabels, value: formatSeconds(float64(h.SumNs) / 1e9)})
-		add(base+"_count", "", series{labels: countLabels, value: strconv.FormatInt(cum, 10)})
+		add(base+"_count", "", series{labels: sumLabels, value: strconv.FormatInt(cum, 10)})
 		// The TYPE line belongs to the base family name.
 		if f := fams[base]; f == nil {
 			fams[base] = &family{typ: "histogram"}

@@ -8,23 +8,60 @@ import (
 
 func TestPromName(t *testing.T) {
 	cases := []struct {
-		in               string
-		base, lkey, lval string
+		in     string
+		base   string
+		labels string // rendered form
 	}{
-		{"property.queries", "property_queries", "", ""},
-		{"irrd_requests_total", "irrd_requests_total", "", ""},
-		{"irrd_request_duration:endpoint=compile", "irrd_request_duration", "endpoint", "compile"},
-		{"irrd_errors_total:kind=parse", "irrd_errors_total", "kind", "parse"},
-		{"deptest.verdict:gather", "deptest_verdict", "kind", "gather"}, // legacy base:value
-		{"9starts.with.digit", "_9starts_with_digit", "", ""},
-		{"", "_", "", ""},
+		{"property.queries", "property_queries", ""},
+		{"irrd_requests_total", "irrd_requests_total", ""},
+		{"irrd_request_duration:endpoint=compile", "irrd_request_duration", `{endpoint="compile"}`},
+		{"irrd_errors_total:kind=parse", "irrd_errors_total", `{kind="parse"}`},
+		{"deptest.verdict:gather", "deptest_verdict", `{kind="gather"}`}, // legacy base:value
+		{"irrgw_requests_total:backend=127.0.0.1:9001,outcome=ok", "irrgw_requests_total",
+			`{backend="127.0.0.1:9001",outcome="ok"}`}, // multi-label
+		{"9starts.with.digit", "_9starts_with_digit", ""},
+		{"", "_", ""},
 	}
 	for _, c := range cases {
-		base, lk, lv := promName(c.in)
-		if base != c.base || lk != c.lkey || lv != c.lval {
-			t.Errorf("promName(%q) = (%q, %q, %q), want (%q, %q, %q)",
-				c.in, base, lk, lv, c.base, c.lkey, c.lval)
+		base, pairs := promName(c.in)
+		if labels := renderLabels(pairs); base != c.base || labels != c.labels {
+			t.Errorf("promName(%q) = (%q, %q), want (%q, %q)",
+				c.in, base, labels, c.base, c.labels)
 		}
+	}
+}
+
+// Multi-label counters ("name:k1=v1,k2=v2") render as one series with both
+// labels and survive the exposition round trip.
+func TestPrometheusMultiLabel(t *testing.T) {
+	r := New()
+	r.Count("irrgw_requests_total:backend=b1,outcome=ok", 3)
+	r.Count("irrgw_requests_total:backend=b2,outcome=network_error", 1)
+	r.Observe("irrgw_route_duration:endpoint=compile,outcome=ok", 5*time.Millisecond)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePrometheus(sb.String())
+	if err != nil {
+		t.Fatalf("ParsePrometheus: %v\n%s", err, sb.String())
+	}
+	found := false
+	for _, s := range samples {
+		if s.Name == "irrgw_requests_total" && s.Labels["backend"] == "b1" {
+			found = true
+			if s.Labels["outcome"] != "ok" || s.Value != 3 {
+				t.Errorf("sample = %+v", s)
+			}
+		}
+		if s.Name == "irrgw_route_duration_seconds_bucket" && s.Labels["endpoint"] == "compile" {
+			if s.Labels["outcome"] != "ok" || s.Labels["le"] == "" {
+				t.Errorf("histogram bucket labels = %v", s.Labels)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no multi-label counter sample in:\n%s", sb.String())
 	}
 }
 

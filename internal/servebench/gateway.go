@@ -1,0 +1,428 @@
+package servebench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/gateway"
+	"repro/internal/server"
+)
+
+// GatewayReportSchema identifies the JSON layout of the irrgw
+// measurement document (BENCH_gateway.json).
+const GatewayReportSchema = "irr-gateway/1"
+
+// GatewayReport is the payload of `irrbench -gateway-load`: throughput as
+// the backend count scales, whether consistent-hash affinity preserves
+// irrd's cache hit rate across a fleet, byte-identity of proxied
+// responses, and availability when a backend is killed under load.
+type GatewayReport struct {
+	Schema      string `json:"schema"`
+	Requests    int    `json:"requests"`
+	Concurrency int    `json:"concurrency"`
+	CorpusKeys  int    `json:"corpus_keys"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	// SingleCoreCaveat flags runs where backends, gateway and clients all
+	// share one core, so throughput-vs-M cannot show real scaling.
+	SingleCoreCaveat bool `json:"single_core_caveat"`
+
+	// Throughput over a warm corpus as the fleet grows.
+	Scaling []GatewayScalePoint `json:"scaling"`
+
+	// Affinity over the largest fleet.
+	AffinityPreserved bool    `json:"affinity_preserved"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	ByteIdentical     bool    `json:"byte_identical"`
+
+	// Kill-one-backend availability (largest fleet, load running).
+	KillRequests  int   `json:"kill_requests"`
+	KillFailures  int64 `json:"kill_failures"`
+	KillRetries   int64 `json:"kill_retries"`
+	KilledEjected bool  `json:"killed_ejected"`
+}
+
+// GatewayScalePoint is one fleet size's warm throughput.
+type GatewayScalePoint struct {
+	Backends int     `json:"backends"`
+	RPS      float64 `json:"rps"`
+	P50Ns    int64   `json:"p50_ns"`
+	P99Ns    int64   `json:"p99_ns"`
+}
+
+// gwFleet is M in-process irrd backends behind an in-process irrgw, all
+// on real listeners so the measurement includes the HTTP hops.
+type gwFleet struct {
+	backends []*httptest.Server
+	gw       *gateway.Gateway
+	gts      *httptest.Server
+	hc       *http.Client
+	client   *api.Client
+}
+
+func newGWFleet(m int) (*gwFleet, error) {
+	f := &gwFleet{hc: &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 512,
+	}}}
+	urls := make([]string, m)
+	for i := 0; i < m; i++ {
+		ts := httptest.NewServer(server.New(server.Config{}))
+		f.backends = append(f.backends, ts)
+		urls[i] = ts.URL
+	}
+	gw, err := gateway.New(gateway.Config{
+		Backends:      urls,
+		ProbeInterval: 20 * time.Millisecond,
+		FailThreshold: 2,
+		PassThreshold: 2,
+		RetryBase:     2 * time.Millisecond,
+		RetryMax:      20 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gw.Start()
+	f.gw = gw
+	f.gts = httptest.NewServer(gw)
+	f.client = api.NewClient(f.gts.URL, api.WithHTTPClient(f.hc))
+	return f, nil
+}
+
+func (f *gwFleet) close() {
+	f.gts.Close()
+	f.gw.Close()
+	for _, ts := range f.backends {
+		ts.Close()
+	}
+	f.hc.CloseIdleConnections()
+}
+
+// compile posts one body through the gateway, returning latency, the
+// serving backend and the raw response.
+func (f *gwFleet) compile(body []byte) (time.Duration, string, []byte, error) {
+	hdr := http.Header{}
+	hdr.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := f.client.Forward(context.Background(), "POST", "/v1/compile", body, hdr)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	d := time.Since(t0)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, "", nil, fmt.Errorf("gateway compile: status %d: %s", resp.StatusCode, data)
+	}
+	return d, resp.Header.Get(api.BackendHeader), data, nil
+}
+
+// corpus builds k distinct compile bodies (distinct affinity keys) that
+// each compile in a few milliseconds.
+func gwCorpus(k int) ([][]byte, error) {
+	out := make([][]byte, k)
+	for i := range out {
+		src := fmt.Sprintf(`
+program c%d
+  param n = %d
+  real a(n), b(n)
+  integer i
+  integer x(n)
+  do i = 1, n
+    x(i) = mod(i * 7, n) + 1
+  end do
+  do i = 1, n
+    b(i) = real(i)
+  end do
+  do i = 1, n
+    a(x(i)) = a(x(i)) + b(i)
+  end do
+  print "done", a(1)
+end
+`, i, 48+i)
+		body, err := json.Marshal(map[string]string{"src": src})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = body
+	}
+	return out, nil
+}
+
+// MeasureGatewayLoad boots fleets of 1..maxBackends in-process irrd
+// instances behind irrgw and measures: warm throughput per fleet size,
+// affinity (every corpus key served by exactly one backend, warm repeats
+// all cache hits), byte-identity of a proxied response against the
+// backend that served it, and the kill-one-backend drill — SIGKILL
+// semantics via hard listener close mid-load, asserting zero
+// client-visible failures. requests < 1 defaults to 400, conc < 1 to
+// 2*GOMAXPROCS, maxBackends < 1 to 3.
+func MeasureGatewayLoad(requests, conc, maxBackends int) (*GatewayReport, error) {
+	if requests < 1 {
+		requests = 400
+	}
+	if conc < 1 {
+		conc = 2 * runtime.GOMAXPROCS(0)
+	}
+	if maxBackends < 1 {
+		maxBackends = 3
+	}
+	rep := &GatewayReport{
+		Schema:           GatewayReportSchema,
+		Requests:         requests,
+		Concurrency:      conc,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		SingleCoreCaveat: runtime.GOMAXPROCS(0) == 1,
+	}
+	corpus, err := gwCorpus(16)
+	if err != nil {
+		return nil, err
+	}
+	rep.CorpusKeys = len(corpus)
+
+	// Phase 1: warm throughput per fleet size.
+	for m := 1; m <= maxBackends; m++ {
+		f, err := newGWFleet(m)
+		if err != nil {
+			return nil, err
+		}
+		point, err := f.scalePoint(corpus, requests, conc, m)
+		f.close()
+		if err != nil {
+			return nil, fmt.Errorf("fleet of %d: %w", m, err)
+		}
+		rep.Scaling = append(rep.Scaling, *point)
+	}
+
+	// Phase 2: affinity, hit rate and byte-identity on the largest fleet.
+	f, err := newGWFleet(maxBackends)
+	if err != nil {
+		return nil, err
+	}
+	defer f.close()
+	if err := f.affinity(corpus, conc, rep); err != nil {
+		return nil, fmt.Errorf("affinity phase: %w", err)
+	}
+
+	// Phase 3: kill one backend under load on a fresh fleet.
+	kf, err := newGWFleet(maxBackends)
+	if err != nil {
+		return nil, err
+	}
+	defer kf.close()
+	if err := kf.killDrill(corpus, requests, conc, rep); err != nil {
+		return nil, fmt.Errorf("kill phase: %w", err)
+	}
+	return rep, nil
+}
+
+// scalePoint primes the corpus (one compile per key) and then measures
+// warm throughput: requests spread over the corpus keys from conc
+// workers.
+func (f *gwFleet) scalePoint(corpus [][]byte, requests, conc, m int) (*GatewayScalePoint, error) {
+	for _, body := range corpus {
+		if _, _, _, err := f.compile(body); err != nil {
+			return nil, err
+		}
+	}
+	lat := make([]int64, requests)
+	var errCount atomic.Int64
+	var firstErr atomic.Value
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				d, _, _, err := f.compile(corpus[i%len(corpus)])
+				if err != nil {
+					errCount.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				lat[i] = int64(d)
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	wall := time.Since(t0)
+	if n := errCount.Load(); n > 0 {
+		return nil, fmt.Errorf("%d/%d requests failed: %v", n, requests, firstErr.Load())
+	}
+	durs := make([]time.Duration, len(lat))
+	for i, v := range lat {
+		durs[i] = time.Duration(v)
+	}
+	sortDurations(durs)
+	return &GatewayScalePoint{
+		Backends: m,
+		RPS:      float64(requests) / wall.Seconds(),
+		P50Ns:    pct(durs, 0.50),
+		P99Ns:    pct(durs, 0.99),
+	}, nil
+}
+
+// affinity replays every corpus key several times and checks each key is
+// pinned to exactly one backend with a warm cache, then byte-compares a
+// gateway response against the serving backend directly.
+func (f *gwFleet) affinity(corpus [][]byte, conc int, rep *GatewayReport) error {
+	const repeats = 4
+	home := make([]map[string]bool, len(corpus))
+	for i := range home {
+		home[i] = map[string]bool{}
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, len(corpus)*repeats)
+	sem := make(chan struct{}, conc)
+	for r := 0; r < repeats; r++ {
+		for i, body := range corpus {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				_, backend, _, err := f.compile(body)
+				if err != nil {
+					errs <- err
+					return
+				}
+				mu.Lock()
+				home[i][backend] = true
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return err
+	}
+	rep.AffinityPreserved = true
+	for _, backends := range home {
+		if len(backends) != 1 {
+			rep.AffinityPreserved = false
+		}
+	}
+
+	// Aggregate the fleet's cache counters: with perfect affinity the
+	// corpus misses once per key and hits everywhere else.
+	var hits, misses int64
+	for _, ts := range f.backends {
+		cnt, err := api.NewClient(ts.URL, api.WithHTTPClient(f.hc)).Counters(context.Background())
+		if err != nil {
+			return err
+		}
+		hits += cnt["rescache_hits_total"]
+		misses += cnt["rescache_misses_total"]
+	}
+	if total := hits + misses; total > 0 {
+		rep.CacheHitRate = float64(hits) / float64(total)
+	}
+
+	// Byte-identity: same fixed request ID through the gateway and
+	// directly to the backend that served it.
+	hdr := http.Header{}
+	hdr.Set("Content-Type", "application/json")
+	hdr.Set(api.RequestIDHeader, "irr-gateway-bytes")
+	resp, err := f.client.Forward(context.Background(), "POST", "/v1/compile", corpus[0], hdr)
+	if err != nil {
+		return err
+	}
+	viaGW, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	served := resp.Header.Get(api.BackendHeader)
+	for _, ts := range f.backends {
+		if "http://"+served != ts.URL {
+			continue
+		}
+		direct, err := api.NewClient(ts.URL, api.WithHTTPClient(f.hc)).
+			Forward(context.Background(), "POST", "/v1/compile", corpus[0], hdr)
+		if err != nil {
+			return err
+		}
+		directBody, _ := io.ReadAll(direct.Body)
+		direct.Body.Close()
+		rep.ByteIdentical = string(viaGW) == string(directBody)
+	}
+	return nil
+}
+
+// killDrill drives conc workers over the corpus and hard-kills one
+// backend (listener close + connection reset — SIGKILL semantics for an
+// in-process fleet) a third of the way in. Every client request must
+// still succeed; the gateway's retry counters and the ejection gauge
+// record how.
+func (f *gwFleet) killDrill(corpus [][]byte, requests, conc int, rep *GatewayReport) error {
+	for _, body := range corpus {
+		if _, _, _, err := f.compile(body); err != nil {
+			return err
+		}
+	}
+	rep.KillRequests = requests
+	var failures atomic.Int64
+	var killed atomic.Bool
+	killAt := requests / 3
+	victim := f.backends[len(f.backends)-1]
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if i == killAt && killed.CompareAndSwap(false, true) {
+					victim.Listener.Close()
+					victim.CloseClientConnections()
+				}
+				if _, _, _, err := f.compile(corpus[i%len(corpus)]); err != nil {
+					failures.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	rep.KillFailures = failures.Load()
+
+	// Read the gateway's own counters for retries and the ejection.
+	cnt, err := f.client.Counters(context.Background())
+	if err != nil {
+		return err
+	}
+	rep.KillRetries = cnt["irrgw_retries_total"]
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if f.gw.Live() < len(f.backends) {
+			rep.KilledEjected = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil
+}
+
+func sortDurations(d []time.Duration) {
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+}

@@ -1,6 +1,7 @@
 package servebench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/server"
 )
 
@@ -55,23 +57,28 @@ type ServeLoadReport struct {
 	ResponseBytes int     `json:"response_bytes"`
 }
 
-// serveClient drives one irrd instance over its httptest listener. It
-// keeps its own connection pool, sized so a concurrent burst does not
-// serialize on dials.
+// serveClient drives one irrd instance over its httptest listener via
+// the typed api.Client. It keeps its own connection pool, sized so a
+// concurrent burst does not serialize on dials; raw response bytes come
+// through Forward so byte-identity checks see exactly the wire payload.
 type serveClient struct {
 	ts   *httptest.Server
+	api  *api.Client
 	hc   *http.Client
 	body string
 }
 
 func newServeClient(cacheBytes int64, kernel string) *serveClient {
 	srv := server.New(server.Config{CacheBytes: cacheBytes})
+	ts := httptest.NewServer(srv)
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 512,
+	}}
 	return &serveClient{
-		ts: httptest.NewServer(srv),
-		hc: &http.Client{Transport: &http.Transport{
-			MaxIdleConns:        512,
-			MaxIdleConnsPerHost: 512,
-		}},
+		ts:   ts,
+		api:  api.NewClient(ts.URL, api.WithHTTPClient(hc)),
+		hc:   hc,
 		body: fmt.Sprintf(`{"kernel":%q}`, kernel),
 	}
 }
@@ -87,16 +94,13 @@ func (c *serveClient) compileOnce(reqID, body string) (time.Duration, []byte, er
 	if body == "" {
 		body = c.body
 	}
-	req, err := http.NewRequest("POST", c.ts.URL+"/v1/compile", strings.NewReader(body))
-	if err != nil {
-		return 0, nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
+	hdr := http.Header{}
+	hdr.Set("Content-Type", "application/json")
 	if reqID != "" {
-		req.Header.Set("X-Request-Id", reqID)
+		hdr.Set(api.RequestIDHeader, reqID)
 	}
 	t0 := time.Now()
-	resp, err := c.hc.Do(req)
+	resp, err := c.api.Forward(context.Background(), "POST", "/v1/compile", []byte(body), hdr)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -114,23 +118,7 @@ func (c *serveClient) compileOnce(reqID, body string) (time.Duration, []byte, er
 
 // counters reads the irrd-metrics/2 JSON document's counter map.
 func (c *serveClient) counters() (map[string]int64, error) {
-	req, err := http.NewRequest("GET", c.ts.URL+"/metrics", nil)
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Accept", "application/json")
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	var doc struct {
-		Counters map[string]int64 `json:"counters"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		return nil, err
-	}
-	return doc.Counters, nil
+	return c.api.Counters(context.Background())
 }
 
 // fanOut issues n requests over conc workers and returns the sorted

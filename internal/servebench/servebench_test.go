@@ -33,3 +33,44 @@ func TestMeasureServeLoadSmoke(t *testing.T) {
 		t.Errorf("throughput = %v", rep.WarmThroughputRPS)
 	}
 }
+
+// TestMeasureGatewayLoadSmoke runs the gateway drill scaled down: 2
+// fleets (1 and 2 backends), a small warm corpus, and the kill-one
+// phase. The availability invariant — zero client-visible failures when
+// a backend dies mid-load — holds at any scale, so it is asserted here
+// too, not just in CI.
+func TestMeasureGatewayLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots several irrd fleets")
+	}
+	rep, err := MeasureGatewayLoad(40, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != GatewayReportSchema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Scaling) != 2 || rep.Scaling[0].Backends != 1 || rep.Scaling[1].Backends != 2 {
+		t.Fatalf("scaling points = %+v", rep.Scaling)
+	}
+	for _, p := range rep.Scaling {
+		if p.RPS <= 0 || p.P50Ns <= 0 {
+			t.Errorf("degenerate scale point %+v", p)
+		}
+	}
+	if !rep.AffinityPreserved {
+		t.Error("affinity not preserved: some corpus key was served by multiple backends")
+	}
+	if rep.CacheHitRate < 0.5 {
+		t.Errorf("fleet cache hit rate = %v, want >= 0.5 under affinity routing", rep.CacheHitRate)
+	}
+	if !rep.ByteIdentical {
+		t.Error("gateway response not byte-identical to the serving backend's")
+	}
+	if rep.KillFailures != 0 {
+		t.Errorf("killing a backend surfaced %d client errors, want 0", rep.KillFailures)
+	}
+	if !rep.KilledEjected {
+		t.Error("killed backend was never ejected")
+	}
+}

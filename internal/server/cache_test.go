@@ -13,6 +13,7 @@ import (
 	"time"
 
 	irregular "repro"
+	"repro/internal/api"
 )
 
 // rawPost sends a compile body with a fixed request ID and returns the
@@ -59,7 +60,7 @@ func TestCacheHitByteIdentical(t *testing.T) {
 		}
 
 		// Deterministic fields must equal a fresh compile's document.
-		var resp compileResponse
+		var resp api.CompileResponse
 		if err := json.Unmarshal(first, &resp); err != nil {
 			t.Fatal(err)
 		}
@@ -256,7 +257,7 @@ func TestRunUsesCacheAndStaysDeterministic(t *testing.T) {
 	if string(first) != string(second) {
 		t.Errorf("cached run response differs:\n%s\n---\n%s", first, second)
 	}
-	var rr runResponse
+	var rr api.RunResponse
 	if err := json.Unmarshal(first, &rr); err != nil {
 		t.Fatal(err)
 	}
@@ -274,8 +275,8 @@ func TestCompileTelemetrySurvivesRunError(t *testing.T) {
 	for _, cacheBytes := range []int64{-1, 0} {
 		s, ts := newTestServer(t, Config{CacheBytes: cacheBytes})
 		var env errEnvelope
-		resp := post(t, ts, "/v1/run", runRequest{
-			compileRequest: compileRequest{Kernel: "trfd"},
+		resp := post(t, ts, "/v1/run", api.RunRequest{
+			CompileRequest: api.CompileRequest{Kernel: "trfd"},
 			MaxSteps:       1, // the run exceeds this immediately
 		}, &env)
 		if resp.StatusCode != http.StatusRequestEntityTooLarge {
@@ -335,7 +336,7 @@ func TestConcurrentCachedRuns(t *testing.T) {
 				t.Errorf("run %d: status %d: %s", i, code, data)
 				return
 			}
-			var rr runResponse
+			var rr api.RunResponse
 			if err := json.Unmarshal(data, &rr); err != nil {
 				t.Error(err)
 				return

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/obs"
 )
 
@@ -33,7 +34,7 @@ func TestRequestIDPropagation(t *testing.T) {
 	if got := resp.Header.Get(requestIDHeader); got != "test-req-42" {
 		t.Errorf("echoed %s = %q, want test-req-42", requestIDHeader, got)
 	}
-	var out compileResponse
+	var out api.CompileResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
@@ -102,8 +103,8 @@ func TestPprofGating(t *testing.T) {
 // with the pipeline phase spans.
 func TestCompileTrace(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	var out compileResponse
-	resp := post(t, ts, "/v1/compile", compileRequest{Kernel: "trfd", Trace: true}, &out)
+	var out api.CompileResponse
+	resp := post(t, ts, "/v1/compile", api.CompileRequest{Kernel: "trfd", Trace: true}, &out)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
@@ -128,8 +129,8 @@ func TestCompileTrace(t *testing.T) {
 	}
 
 	// Without trace:true the field stays empty (no debug-level cost).
-	out = compileResponse{}
-	post(t, ts, "/v1/compile", compileRequest{Kernel: "trfd"}, &out)
+	out = api.CompileResponse{}
+	post(t, ts, "/v1/compile", api.CompileRequest{Kernel: "trfd"}, &out)
 	if len(out.Trace) != 0 {
 		t.Errorf("unrequested trace present: %s", out.Trace)
 	}
@@ -142,7 +143,7 @@ func TestCompileTrace(t *testing.T) {
 func TestMetricsAggregateAcrossRequests(t *testing.T) {
 	s, ts := newTestServer(t, Config{CacheBytes: -1})
 	for i := 0; i < 2; i++ {
-		if resp := post(t, ts, "/v1/compile", compileRequest{Kernel: "trfd"}, nil); resp.StatusCode != 200 {
+		if resp := post(t, ts, "/v1/compile", api.CompileRequest{Kernel: "trfd"}, nil); resp.StatusCode != 200 {
 			t.Fatalf("compile %d: status %d", i, resp.StatusCode)
 		}
 	}

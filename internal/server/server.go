@@ -42,10 +42,11 @@
 // histograms are absorbed into the server's process-wide recorder, so
 // /metrics aggregates per-phase and per-query-kind latency across requests.
 //
-// Failures use one envelope, {"error":{"kind":..., "message":...}}, with
-// the kind drawn from the comperr taxonomy and a distinct HTTP status per
-// kind: parse 400, analysis 422, resource limit 413, over capacity 429,
-// canceled/deadline 504, internal (including recovered panics) 500.
+// The wire contract — request/response DTOs, the unified error envelope
+// {"error":{"kind","message","request_id"}}, and the kind→status table
+// (parse 400, analysis 422, resource limit 413, over capacity 429,
+// canceled/deadline 504, internal 500) — is defined once in internal/api
+// and shared with the irrgw gateway and the servebench load drivers.
 package server
 
 import (
@@ -65,6 +66,7 @@ import (
 	"time"
 
 	irregular "repro"
+	"repro/internal/api"
 	"repro/internal/comperr"
 	"repro/internal/lint"
 	"repro/internal/obs"
@@ -223,7 +225,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 var errCapacity = errors.New("server at capacity")
 
 // requestIDHeader carries the request correlation ID.
-const requestIDHeader = "X-Request-Id"
+const requestIDHeader = api.RequestIDHeader
 
 // newRequestID generates a 16-hex-digit correlation ID. It only needs to be
 // unique enough to correlate log lines and traces, not unguessable.
@@ -270,8 +272,8 @@ func (s *Server) guard(endpoint string, h func(http.ResponseWriter, *http.Reques
 			if rec := recover(); rec != nil {
 				s.rec.Count("irrd_panics_total", 1)
 				s.rec.Count("irrd_errors_total:kind=internal", 1)
-				writeError(sw, http.StatusInternalServerError, "internal",
-					fmt.Sprintf("internal error: %v", rec))
+				api.WriteError(sw, api.KindInternal,
+					fmt.Sprintf("internal error: %v", rec), id)
 			}
 			d := time.Since(start)
 			s.rec.Observe("irrd_request_duration:endpoint="+endpoint, d)
@@ -328,63 +330,11 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	return context.WithCancel(r.Context())
 }
 
-// compileRequest is the body of POST /v1/compile (and the compilation half
-// of POST /v1/run). Exactly one of Src and Kernel must be set.
-type compileRequest struct {
-	// Src is F-lite source text.
-	Src string `json:"src,omitempty"`
-	// Kernel names a bundled benchmark to compile instead of Src.
-	Kernel string `json:"kernel,omitempty"`
-	// Mode is "full" (default), "noiaa" or "baseline".
-	Mode string `json:"mode,omitempty"`
-	// Intraprocedural restricts the property analysis to single units.
-	Intraprocedural bool `json:"intraprocedural,omitempty"`
-	// Interchange enables the loop-interchange companion pass.
-	Interchange bool `json:"interchange,omitempty"`
-	// Explain adds the per-loop decision log to the response.
-	Explain bool `json:"explain,omitempty"`
-	// Trace compiles at debug telemetry level and adds a Chrome trace-event
-	// document (loadable in Perfetto) to the response.
-	Trace bool `json:"trace,omitempty"`
-}
-
-// compileResponse answers POST /v1/compile. Metrics is the irr-metrics/1
-// document — the same schema irrc -metrics writes. Trace, when requested,
-// is the Chrome trace-event JSON array.
-type compileResponse struct {
-	Summary   string          `json:"summary"`
-	Metrics   json.RawMessage `json:"metrics"`
-	Explain   string          `json:"explain,omitempty"`
-	Trace     json.RawMessage `json:"trace,omitempty"`
-	RequestID string          `json:"request_id,omitempty"`
-}
-
-// runRequest is the body of POST /v1/run.
-type runRequest struct {
-	compileRequest
-	// Processors is the virtual processor count (default 1).
-	Processors int `json:"processors,omitempty"`
-	// Profile is "origin2000" (default) or "challenge".
-	Profile string `json:"profile,omitempty"`
-	// MaxSteps bounds the simulated execution; it is clamped to the
-	// server's MaxRunSteps.
-	MaxSteps uint64 `json:"max_steps,omitempty"`
-	// BoundsCheckElim applies bounds-check elimination before running.
-	BoundsCheckElim bool `json:"bounds_check_elim,omitempty"`
-}
-
-// runResponse answers POST /v1/run.
-type runResponse struct {
-	Time            uint64 `json:"time"`
-	ParallelRegions int    `json:"parallel_regions"`
-	Output          string `json:"output,omitempty"`
-	OutputTruncated bool   `json:"output_truncated,omitempty"`
-	Summary         string `json:"summary"`
-}
-
-// decodeCompileRequest reads and validates the request body; the source
-// size limit applies to the body as a whole and to the resolved source.
-func (s *Server) decodeCompileRequest(w http.ResponseWriter, r *http.Request, into any, req *compileRequest) error {
+// decodeCompileRequest reads, validates and normalizes the request body
+// (api.CompileRequest.Normalize resolves kernel references and checks the
+// mode); the source size limit applies to the body as a whole and to the
+// resolved source.
+func (s *Server) decodeCompileRequest(w http.ResponseWriter, r *http.Request, into any, req *api.CompileRequest) error {
 	r.Body = http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes)+4096)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -395,19 +345,7 @@ func (s *Server) decodeCompileRequest(w http.ResponseWriter, r *http.Request, in
 		}
 		return comperr.Parsef("invalid request body: %v", err)
 	}
-	switch {
-	case req.Src != "" && req.Kernel != "":
-		return comperr.Parsef(`"src" and "kernel" are mutually exclusive`)
-	case req.Src == "" && req.Kernel == "":
-		return comperr.Parsef(`one of "src" or "kernel" is required`)
-	case req.Kernel != "":
-		src, err := irregular.KernelSource(req.Kernel)
-		if err != nil {
-			return comperr.Parsef("unknown kernel %q", req.Kernel)
-		}
-		req.Src = src
-	}
-	return nil
+	return req.Normalize()
 }
 
 // options maps the request to public compile options under the server's
@@ -415,7 +353,7 @@ func (s *Server) decodeCompileRequest(w http.ResponseWriter, r *http.Request, in
 // and the decision log need the recorder, and the server absorbs every
 // compilation's counters and histograms into its /metrics aggregates.
 // An Explain or Trace request raises the recorder to debug level.
-func (s *Server) options(req *compileRequest, requestID string) (irregular.Options, error) {
+func (s *Server) options(req *api.CompileRequest, requestID string) (irregular.Options, error) {
 	opts := irregular.Options{
 		Intraprocedural: req.Intraprocedural,
 		Interchange:     req.Interchange,
@@ -428,8 +366,8 @@ func (s *Server) options(req *compileRequest, requestID string) (irregular.Optio
 			MaxSourceBytes: s.cfg.MaxSourceBytes,
 		},
 	}
-	switch strings.ToLower(req.Mode) {
-	case "", "full":
+	switch req.ResolvedMode() {
+	case "full":
 		opts.Mode = irregular.Full
 	case "noiaa":
 		opts.Mode = irregular.NoIAA
@@ -443,27 +381,21 @@ func (s *Server) options(req *compileRequest, requestID string) (irregular.Optio
 
 // cacheHeader reports how the cross-request cache satisfied a request:
 // "hit", "miss", "coalesced" or "bypass" (debug-level or cache disabled).
-const cacheHeader = "X-Irrd-Cache"
+const cacheHeader = api.CacheHeader
 
-// cacheKey derives the content-addressed key of a compilation: the
-// resolved source text plus every request option that changes the
-// compiled output or the response document, and the server's query-step
-// budget (a different budget can turn a success into a 413). Telemetry
-// level, request IDs and run options are deliberately excluded — they
-// never change what the compiler produces (debug-level requests bypass
-// the cache entirely).
-func (s *Server) cacheKey(req *compileRequest, lint bool) rescache.Key {
-	mode := strings.ToLower(req.Mode)
-	if mode == "" {
-		mode = "full"
-	}
+// cacheKey derives the content-addressed key of a compilation from the
+// request's affinity digest — the hex SHA-256 over the resolved source
+// and every option that changes the compiled output (api.AffinityDigest;
+// the same digest the irrgw gateway routes by, so requests land on the
+// backend already holding their cache entry) — plus the response schema
+// and the server's query-step budget (a different budget can turn a
+// success into a 413). Telemetry level, request IDs and run options are
+// deliberately excluded — they never change what the compiler produces
+// (debug-level requests bypass the cache entirely).
+func (s *Server) cacheKey(req *api.CompileRequest, lint bool) rescache.Key {
 	return rescache.KeyOf(
 		"irr-metrics/1", // response-schema guard: bump-safe across deploys
-		req.Src,
-		mode,
-		strconv.FormatBool(req.Intraprocedural),
-		strconv.FormatBool(req.Interchange),
-		strconv.FormatBool(lint),
+		req.AffinityDigest(lint),
 		strconv.Itoa(s.cfg.MaxQuerySteps),
 	)
 }
@@ -476,7 +408,7 @@ func (s *Server) cacheKey(req *compileRequest, lint bool) rescache.Key {
 // The compilation's telemetry is absorbed into the process recorder on
 // every path where the compile itself succeeded — including when a later
 // stage (snapshotting, the caller's run) fails.
-func (s *Server) compileSnapshot(ctx context.Context, req *compileRequest, opts irregular.Options, weight int64) (*irregular.Snapshot, string, error) {
+func (s *Server) compileSnapshot(ctx context.Context, req *api.CompileRequest, opts irregular.Options, weight int64) (*irregular.Snapshot, string, error) {
 	compute := func() (*irregular.Snapshot, error) {
 		release, err := s.admit(ctx, weight)
 		if err != nil {
@@ -505,14 +437,14 @@ func (s *Server) compileSnapshot(ctx context.Context, req *compileRequest, opts 
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.rec.Count("irrd_compile_total", 1)
-	var req compileRequest
+	var req api.CompileRequest
 	if err := s.decodeCompileRequest(w, r, &req, &req); err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	opts, err := s.options(&req, r.Header.Get(requestIDHeader))
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	ctx, cancel := s.requestContext(r)
@@ -523,13 +455,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		// stream, which is per-request by nature — bypass the cache.
 		release, err := s.admit(ctx, 1)
 		if err != nil {
-			s.fail(w, err)
+			s.fail(w, r, err)
 			return
 		}
 		defer release()
 		res, err := s.compile(ctx, req.Src, opts)
 		if err != nil {
-			s.fail(w, err)
+			s.fail(w, r, err)
 			return
 		}
 		// Absorbed before the response is built, so the compilation's
@@ -537,10 +469,10 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.rec.Absorb(res.Recorder)
 		metrics, err := res.SummaryJSON()
 		if err != nil {
-			s.fail(w, err)
+			s.fail(w, r, err)
 			return
 		}
-		resp := compileResponse{
+		resp := api.CompileResponse{
 			Summary:   res.Summary(),
 			Metrics:   metrics,
 			RequestID: r.Header.Get(requestIDHeader),
@@ -551,23 +483,23 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		if req.Trace {
 			var buf bytes.Buffer
 			if err := obs.WriteChromeTrace(&buf, res.Recorder.Events()); err != nil {
-				s.fail(w, err)
+				s.fail(w, r, err)
 				return
 			}
 			resp.Trace = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
 		}
 		w.Header().Set(cacheHeader, "bypass")
-		writeJSON(w, http.StatusOK, resp)
+		api.WriteJSON(w, http.StatusOK, resp)
 		return
 	}
 
 	snap, outcome, err := s.compileSnapshot(ctx, &req, opts, 1)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	w.Header().Set(cacheHeader, outcome)
-	writeJSON(w, http.StatusOK, compileResponse{
+	api.WriteJSON(w, http.StatusOK, api.CompileResponse{
 		Summary:   snap.Summary(),
 		Metrics:   snap.MetricsJSON(),
 		RequestID: r.Header.Get(requestIDHeader),
@@ -576,18 +508,18 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.rec.Count("irrd_run_total", 1)
-	var req runRequest
-	if err := s.decodeCompileRequest(w, r, &req, &req.compileRequest); err != nil {
-		s.fail(w, err)
+	var req api.RunRequest
+	if err := s.decodeCompileRequest(w, r, &req, &req.CompileRequest); err != nil {
+		s.fail(w, r, err)
 		return
 	}
-	opts, err := s.options(&req.compileRequest, r.Header.Get(requestIDHeader))
+	opts, err := s.options(&req.CompileRequest, r.Header.Get(requestIDHeader))
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	if req.Profile != "" && req.Profile != string(irregular.Origin2000) && req.Profile != string(irregular.Challenge) {
-		s.fail(w, comperr.Parsef("unknown machine profile %q", req.Profile))
+		s.fail(w, r, comperr.Parsef("unknown machine profile %q", req.Profile))
 		return
 	}
 	maxSteps := req.MaxSteps
@@ -602,15 +534,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// — it admits its own weight and executes on a Clone of the immutable
 	// snapshot with a fresh recorder, so concurrent runs of one cached
 	// compilation never share mutable state.
-	snap, outcome, err := s.compileSnapshot(ctx, &req.compileRequest, opts, 1)
+	snap, outcome, err := s.compileSnapshot(ctx, &req.CompileRequest, opts, 1)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	w.Header().Set(cacheHeader, outcome)
 	release, err := s.admit(ctx, 1)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	defer release()
@@ -631,10 +563,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		EliminateBoundsChecks: req.BoundsCheckElim,
 	})
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, runResponse{
+	api.WriteJSON(w, http.StatusOK, api.RunResponse{
 		Time:            rr.Time,
 		ParallelRegions: rr.ParallelRegions,
 		Output:          out.String(),
@@ -643,25 +575,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// lintResponse answers POST /v1/lint. Diags is the full structured finding
-// list (IRRxxxx codes, severities, spans, related notes, fix hints);
-// Rendered is the same in the canonical text format.
-type lintResponse struct {
-	Diags    []irregular.Diag `json:"diags"`
-	Counts   lint.Counts      `json:"counts"`
-	Rendered string           `json:"rendered"`
-}
-
 func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	s.rec.Count("irrd_lint_total", 1)
-	var req compileRequest
+	var req api.CompileRequest
 	if err := s.decodeCompileRequest(w, r, &req, &req); err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	opts, err := s.options(&req, r.Header.Get(requestIDHeader))
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	opts.Lint = true
@@ -672,7 +595,7 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	// (opts.Lint is part of the derivation).
 	snap, outcome, err := s.compileSnapshot(ctx, &req, opts, 2)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	w.Header().Set(cacheHeader, outcome)
@@ -680,7 +603,7 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	if diags == nil {
 		diags = []irregular.Diag{}
 	}
-	writeJSON(w, http.StatusOK, lintResponse{
+	api.WriteJSON(w, http.StatusOK, api.LintResponse{
 		Diags:    diags,
 		Counts:   lint.Count(diags),
 		Rendered: irregular.RenderDiags(diags),
@@ -688,39 +611,33 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleKernels(w http.ResponseWriter, _ *http.Request) {
-	type kernel struct {
-		Name  string `json:"name"`
-		Bytes int    `json:"bytes"`
-	}
-	var out struct {
-		Kernels []kernel `json:"kernels"`
-	}
+	var out api.KernelsResponse
 	for _, name := range irregular.Kernels() {
 		src, err := irregular.KernelSource(name)
 		if err != nil {
 			continue
 		}
-		out.Kernels = append(out.Kernels, kernel{Name: name, Bytes: len(src)})
+		out.Kernels = append(out.Kernels, api.KernelInfo{Name: name, Bytes: len(src)})
 	}
-	writeJSON(w, http.StatusOK, out)
+	api.WriteJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	body := map[string]any{
-		"status":   "ok",
-		"inflight": s.rec.Counter("irrd_inflight"),
+	body := api.Healthz{
+		Status:   "ok",
+		Inflight: s.rec.Counter("irrd_inflight"),
 	}
 	if s.cache != nil {
 		st := s.cache.Stats()
-		body["cache_entries"] = st.Entries
-		body["cache_bytes"] = st.Bytes
+		body.CacheEntries = int64(st.Entries)
+		body.CacheBytes = st.Bytes
 	}
 	if s.shared != nil {
 		st := s.shared.Stats()
-		body["shared_intern_entries"] = st.Intern.Entries
-		body["shared_memo_entries"] = st.Memo.Entries
+		body.SharedInternEntries = int64(st.Intern.Entries)
+		body.SharedMemoEntries = int64(st.Memo.Entries)
 	}
-	writeJSON(w, http.StatusOK, body)
+	api.WriteJSON(w, http.StatusOK, body)
 }
 
 // handleMetrics serves the process-wide telemetry. The default response is
@@ -745,7 +662,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				P50Ns: h.P50(), P90Ns: h.P90(), P99Ns: h.P99(),
 			})
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		api.WriteJSON(w, http.StatusOK, map[string]any{
 			"schema":     "irrd-metrics/2",
 			"counters":   s.rec.Counters(),
 			"histograms": hists,
@@ -756,52 +673,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.WritePrometheus(w, s.rec) //nolint:errcheck // the response is already committed
 }
 
-// fail writes the error envelope and counts the failure by kind.
-func (s *Server) fail(w http.ResponseWriter, err error) {
-	status, kind := statusOf(err)
+// fail writes the unified error envelope (kind, message, request ID; the
+// status is the api kind→status table's) and counts the failure by kind.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
+	kind := errorKind(err)
 	s.rec.Count("irrd_errors_total:kind="+kind, 1)
 	if errors.Is(err, errCapacity) {
 		s.rec.Count("irrd_rejected_capacity_total", 1)
 	}
-	writeError(w, status, kind, err.Error())
+	api.WriteError(w, kind, err.Error(), r.Header.Get(requestIDHeader))
 }
 
-// statusOf maps the error taxonomy to HTTP: parse 400, analysis 422,
-// resource limit 413 (429 for admission rejections), canceled 504,
-// everything else 500.
-func statusOf(err error) (int, string) {
+// errorKind classifies err for the envelope: admission rejections are
+// "over_capacity" (429, not the resource-limit 413), everything else maps
+// through the comperr taxonomy ("internal" when unclassified).
+func errorKind(err error) string {
 	if errors.Is(err, errCapacity) {
-		return http.StatusTooManyRequests, "over_capacity"
+		return api.KindOverCapacity
 	}
-	kind := comperr.KindString(err)
-	switch comperr.KindOf(err) {
-	case comperr.ErrParse:
-		return http.StatusBadRequest, kind
-	case comperr.ErrAnalysis:
-		return http.StatusUnprocessableEntity, kind
-	case comperr.ErrResourceLimit:
-		return http.StatusRequestEntityTooLarge, kind
-	case comperr.ErrCanceled:
-		return http.StatusGatewayTimeout, kind
-	}
-	return http.StatusInternalServerError, kind
-}
-
-type errorBody struct {
-	Kind    string `json:"kind"`
-	Message string `json:"message"`
-}
-
-func writeError(w http.ResponseWriter, status int, kind, msg string) {
-	writeJSON(w, status, map[string]errorBody{"error": {Kind: kind, Message: msg}})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // the response is already committed
+	return comperr.KindString(err)
 }
 
 // limitedBuffer keeps the first max bytes and drops (but notes) the rest —

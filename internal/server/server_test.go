@@ -13,6 +13,7 @@ import (
 	"time"
 
 	irregular "repro"
+	"repro/internal/api"
 	"repro/internal/comperr"
 	"repro/internal/obs"
 )
@@ -63,14 +64,16 @@ func post(t *testing.T, ts *httptest.Server, path string, body any, into any) *h
 	return resp
 }
 
+// errEnvelope aliases the unified envelope with the field named Error,
+// so existing assertions read naturally.
 type errEnvelope struct {
-	Error errorBody `json:"error"`
+	Error api.ErrorBody `json:"error"`
 }
 
 func TestCompileRoundTrip(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	var out compileResponse
-	resp := post(t, ts, "/v1/compile", compileRequest{Src: demoSrc, Explain: true}, &out)
+	var out api.CompileResponse
+	resp := post(t, ts, "/v1/compile", api.CompileRequest{Src: demoSrc, Explain: true}, &out)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, want 200", resp.StatusCode)
 	}
@@ -93,8 +96,8 @@ func TestCompileRoundTrip(t *testing.T) {
 
 func TestCompileKernel(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	var out compileResponse
-	resp := post(t, ts, "/v1/compile", compileRequest{Kernel: "trfd"}, &out)
+	var out api.CompileResponse
+	resp := post(t, ts, "/v1/compile", api.CompileRequest{Kernel: "trfd"}, &out)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, want 200", resp.StatusCode)
 	}
@@ -105,9 +108,9 @@ func TestCompileKernel(t *testing.T) {
 
 func TestRunRoundTrip(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	var out runResponse
-	resp := post(t, ts, "/v1/run", runRequest{
-		compileRequest: compileRequest{Src: demoSrc},
+	var out api.RunResponse
+	resp := post(t, ts, "/v1/run", api.RunRequest{
+		CompileRequest: api.CompileRequest{Src: demoSrc},
 		Processors:     4,
 	}, &out)
 	if resp.StatusCode != http.StatusOK {
@@ -129,13 +132,13 @@ func TestErrorStatuses(t *testing.T) {
 		status int
 		kind   string
 	}{
-		{"parse error", compileRequest{Src: "program p\n  this is not f-lite\nend\n"}, http.StatusBadRequest, "parse"},
+		{"parse error", api.CompileRequest{Src: "program p\n  this is not f-lite\nend\n"}, http.StatusBadRequest, "parse"},
 		{"bad json", "not json", http.StatusBadRequest, "parse"},
-		{"missing src", compileRequest{}, http.StatusBadRequest, "parse"},
-		{"src and kernel", compileRequest{Src: "x", Kernel: "trfd"}, http.StatusBadRequest, "parse"},
-		{"unknown kernel", compileRequest{Kernel: "nope"}, http.StatusBadRequest, "parse"},
-		{"unknown mode", compileRequest{Src: demoSrc, Mode: "turbo"}, http.StatusBadRequest, "parse"},
-		{"oversized source", compileRequest{Src: demoSrc + strings.Repeat("! padding\n", 200)}, http.StatusRequestEntityTooLarge, "resource_limit"},
+		{"missing src", api.CompileRequest{}, http.StatusBadRequest, "parse"},
+		{"src and kernel", api.CompileRequest{Src: "x", Kernel: "trfd"}, http.StatusBadRequest, "parse"},
+		{"unknown kernel", api.CompileRequest{Kernel: "nope"}, http.StatusBadRequest, "parse"},
+		{"unknown mode", api.CompileRequest{Src: demoSrc, Mode: "turbo"}, http.StatusBadRequest, "parse"},
+		{"oversized source", api.CompileRequest{Src: demoSrc + strings.Repeat("! padding\n", 200)}, http.StatusRequestEntityTooLarge, "resource_limit"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -157,7 +160,7 @@ func TestErrorStatuses(t *testing.T) {
 func TestQueryStepLimit(t *testing.T) {
 	_, ts := newTestServer(t, Config{MaxQuerySteps: 1})
 	var env errEnvelope
-	resp := post(t, ts, "/v1/compile", compileRequest{Kernel: "trfd"}, &env)
+	resp := post(t, ts, "/v1/compile", api.CompileRequest{Kernel: "trfd"}, &env)
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status = %d, want 413 (%v)", resp.StatusCode, env.Error)
 	}
@@ -175,7 +178,7 @@ func TestPanicIsolation(t *testing.T) {
 		panic("injected failure")
 	}
 	var env errEnvelope
-	resp := post(t, ts, "/v1/compile", compileRequest{Src: demoSrc}, &env)
+	resp := post(t, ts, "/v1/compile", api.CompileRequest{Src: demoSrc}, &env)
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want 500", resp.StatusCode)
 	}
@@ -187,8 +190,8 @@ func TestPanicIsolation(t *testing.T) {
 	}
 	// The semaphore slot must have been released: the server still serves.
 	s.compile = real
-	var out compileResponse
-	resp = post(t, ts, "/v1/compile", compileRequest{Src: demoSrc}, &out)
+	var out api.CompileResponse
+	resp = post(t, ts, "/v1/compile", api.CompileRequest{Src: demoSrc}, &out)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("server did not survive the panic: status = %d", resp.StatusCode)
 	}
@@ -211,7 +214,7 @@ func TestAdmissionControl(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		post(t, ts, "/v1/compile", compileRequest{Src: demoSrc}, nil)
+		post(t, ts, "/v1/compile", api.CompileRequest{Src: demoSrc}, nil)
 	}()
 	<-entered
 
@@ -219,7 +222,7 @@ func TestAdmissionControl(t *testing.T) {
 	// of coalescing onto the blocked compile's flight.
 	other := demoSrc + "! distinct cache key\n"
 	var env errEnvelope
-	resp := post(t, ts, "/v1/compile", compileRequest{Src: other}, &env)
+	resp := post(t, ts, "/v1/compile", api.CompileRequest{Src: other}, &env)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", resp.StatusCode)
 	}
@@ -230,8 +233,8 @@ func TestAdmissionControl(t *testing.T) {
 	wg.Wait()
 
 	// With the slot free again the same request is admitted.
-	var out compileResponse
-	if resp := post(t, ts, "/v1/compile", compileRequest{Src: demoSrc}, &out); resp.StatusCode != http.StatusOK {
+	var out api.CompileResponse
+	if resp := post(t, ts, "/v1/compile", api.CompileRequest{Src: demoSrc}, &out); resp.StatusCode != http.StatusOK {
 		t.Fatalf("post-drain status = %d, want 200", resp.StatusCode)
 	}
 }
@@ -248,7 +251,7 @@ func TestRequestTimeout(t *testing.T) {
 	}
 	var env errEnvelope
 	start := time.Now()
-	resp := post(t, ts, "/v1/compile", compileRequest{Src: demoSrc}, &env)
+	resp := post(t, ts, "/v1/compile", api.CompileRequest{Src: demoSrc}, &env)
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504 (%v)", resp.StatusCode, env.Error)
 	}
@@ -277,7 +280,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 		t.Fatalf("healthz = %+v, %v", health, err)
 	}
 
-	post(t, ts, "/v1/compile", compileRequest{Src: demoSrc}, nil)
+	post(t, ts, "/v1/compile", api.CompileRequest{Src: demoSrc}, nil)
 
 	// The default /metrics response is the Prometheus text format.
 	mresp, err := http.Get(ts.URL + "/metrics")
@@ -457,8 +460,8 @@ func TestLintEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 
 	// A clean program: 200 with an empty (but present) diags array.
-	var out lintResponse
-	resp := post(t, ts, "/v1/lint", compileRequest{Src: demoSrc}, &out)
+	var out api.LintResponse
+	resp := post(t, ts, "/v1/lint", api.CompileRequest{Src: demoSrc}, &out)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, want 200", resp.StatusCode)
 	}
@@ -481,8 +484,8 @@ program bad
   end do
 end
 `
-	out = lintResponse{}
-	resp = post(t, ts, "/v1/lint", compileRequest{Src: bad}, &out)
+	out = api.LintResponse{}
+	resp = post(t, ts, "/v1/lint", api.CompileRequest{Src: bad}, &out)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, want 200 (findings are not transport errors)", resp.StatusCode)
 	}
@@ -502,7 +505,7 @@ end
 
 	// A program that does not parse is still a transport-level error.
 	var env errEnvelope
-	resp = post(t, ts, "/v1/lint", compileRequest{Src: "not f-lite"}, &env)
+	resp = post(t, ts, "/v1/lint", api.CompileRequest{Src: "not f-lite"}, &env)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("parse failure status = %d, want 400", resp.StatusCode)
 	}
