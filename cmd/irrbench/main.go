@@ -11,6 +11,7 @@
 //	irrbench -obs-report out.json [-obs-kernel trfd]
 //	irrbench -serve-load out.json [-load-kernel trfd] [-load-requests N] [-load-conc N]
 //	irrbench -gateway-load out.json [-gw-backends M] [-gw-requests N] [-gw-conc N]
+//	irrbench -recurrence-report out.json [-recurrence-procs N]
 //
 // With no selection flags, everything is printed. -metrics additionally
 // writes one machine-readable metrics document per kernel ("-": stdout);
@@ -35,6 +36,10 @@
 // proxied responses, and availability when one backend is hard-killed
 // under load — the irr-gateway/1 JSON document, the BENCH_gateway.json
 // payload.
+// -recurrence-report compiles every kernel with the definition-site
+// recurrence derivation on and off (-no-recurrence) and records which
+// target verdicts flip and the simulated speedup deltas — the
+// irr-recurrence/1 JSON document, the BENCH_recurrence.json payload.
 // -cpuprofile / -memprofile write pprof profiles of whatever the invocation
 // ran.
 package main
@@ -72,6 +77,8 @@ func main() {
 	loadKernel := flag.String("load-kernel", "trfd", "kernel for -serve-load")
 	loadRequests := flag.Int("load-requests", 0, "warm-phase request count for -serve-load (0: 500)")
 	loadConc := flag.Int("load-conc", 0, "client concurrency for -serve-load (0: 2*GOMAXPROCS)")
+	recurrenceReport := flag.String("recurrence-report", "", "compare every kernel with the recurrence derivation on vs the -no-recurrence ablation (verdict flips, speedup deltas); write JSON to this path (\"-\" for stdout)")
+	recurrenceProcs := flag.Int("recurrence-procs", 0, "processor count for -recurrence-report speedups (0: 8)")
 	gatewayLoad := flag.String("gateway-load", "", "measure the irrgw consistent-hash gateway over irrd fleets; write JSON to this path (\"-\" for stdout)")
 	gwBackends := flag.Int("gw-backends", 0, "largest fleet size for -gateway-load (0: 3)")
 	gwRequests := flag.Int("gw-requests", 0, "per-phase request count for -gateway-load (0: 400)")
@@ -189,6 +196,17 @@ func main() {
 		}
 		writeOut(*serveLoad, append(data, '\n'))
 	}
+	if *recurrenceReport != "" {
+		rep, err := bench.MeasureRecurrence(sz, *recurrenceProcs)
+		if err != nil {
+			fail(err)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		writeOut(*recurrenceReport, append(data, '\n'))
+	}
 	if *gatewayLoad != "" {
 		rep, err := servebench.MeasureGatewayLoad(*gwRequests, *gwConc, *gwBackends)
 		if err != nil {
@@ -200,7 +218,7 @@ func main() {
 		}
 		writeOut(*gatewayLoad, append(data, '\n'))
 	}
-	anyReport := *metrics != "" || *scalingReport != "" || *exprReport != "" || *obsReport != "" || *serveLoad != "" || *gatewayLoad != ""
+	anyReport := *metrics != "" || *scalingReport != "" || *exprReport != "" || *obsReport != "" || *serveLoad != "" || *gatewayLoad != "" || *recurrenceReport != ""
 	if anyReport && !*t2 && !*t3 && !*f16 {
 		return
 	}

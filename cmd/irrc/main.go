@@ -27,6 +27,7 @@
 //	-explain                    print the per-loop decision log (telemetry)
 //	-metrics out.json           write the metrics JSON document ("-": stdout)
 //	-no-expr-intern             disable expression hash-consing (ablation)
+//	-no-recurrence              disable recurrence-based property derivation (ablation)
 //	-timeout d                  abort compilation (and -run) after d (e.g. 30s)
 //	-max-query-steps N          bound property-query propagation
 //	-cpuprofile out.pprof       write a CPU profile of the compilation
@@ -87,6 +88,7 @@ func main() {
 	metrics := flag.String("metrics", "", "write the metrics JSON document to this path (\"-\" for stdout)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event file (load in Perfetto) to this path (\"-\" for stdout)")
 	noIntern := flag.Bool("no-expr-intern", false, "disable expression hash-consing (output is identical; for measurement)")
+	noRecurrence := flag.Bool("no-recurrence", false, "disable definition-site recurrence derivation (ablation: recurrence-filled index arrays stay unproven)")
 	timeout := flag.Duration("timeout", 0, "abort compilation (and -run) after this duration (0: none)")
 	maxQuerySteps := flag.Int("max-query-steps", 0, "bound property-query propagation steps (0: unlimited)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
@@ -163,6 +165,7 @@ func main() {
 		Trace:           *explain || *traceOut != "",
 		Jobs:            *jobs,
 		NoExprIntern:    *noIntern,
+		NoRecurrence:    *noRecurrence,
 		Limits:          irregular.Limits{MaxQuerySteps: *maxQuerySteps},
 		Lint:            *lintFlag,
 	}

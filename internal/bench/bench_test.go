@@ -13,8 +13,8 @@ func TestTable2Invariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 {
-		t.Fatalf("rows: %d", len(rows))
+	if want := len(kernels.All(kernels.Small)); len(rows) != want {
+		t.Fatalf("rows: %d, want %d", len(rows), want)
 	}
 	for _, r := range rows {
 		if r.LoC == 0 || r.CompileTime <= 0 || r.SeqCycles == 0 {

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/interp"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/parallel"
+	"repro/internal/pipeline"
+)
+
+// RecurrenceReport is the irr-recurrence/1 JSON document: every kernel
+// compiled with the definition-site recurrence derivation on (the default)
+// and off (the -no-recurrence ablation), the verdict of its Table-3 target
+// loop under each, and the simulated speedup both ways — the before/after
+// record of what the derivation buys.
+type RecurrenceReport struct {
+	Schema string `json:"schema"`
+	Size   string `json:"size"`
+	// Procs is the processor count the speedups are measured at.
+	Procs   int                `json:"procs"`
+	Kernels []RecurrenceKernel `json:"kernels"`
+	// Flipped lists the kernels whose target verdict the ablation flips
+	// (parallel with derivation, serial without).
+	Flipped []string `json:"flipped"`
+}
+
+// RecurrenceKernel is one kernel's before/after record.
+type RecurrenceKernel struct {
+	Kernel     string `json:"kernel"`
+	TargetLoop string `json:"target_loop"`
+	// ParallelDerived / ParallelAblated: the target loop's verdict with
+	// the derivation on / off.
+	ParallelDerived bool `json:"parallel_derived"`
+	ParallelAblated bool `json:"parallel_ablated"`
+	Flipped         bool `json:"flipped"`
+	// Properties and Tests are the target loop's evidence in the derived
+	// compile (empty when it stays serial either way).
+	Properties []string `json:"properties,omitempty"`
+	Tests      []string `json:"tests,omitempty"`
+	// Derived counts the derivation's verdicts in the full compile.
+	DerivedMonotonic int `json:"derived_monotonic"`
+	DerivedInjective int `json:"derived_injective"`
+	DerivedDistance  int `json:"derived_distance"`
+	DerivedFailed    int `json:"derived_failed"`
+	// SpeedupDerived / SpeedupAblated: whole-program simulated speedup at
+	// Procs processors vs the serial run of the same compile.
+	SpeedupDerived float64 `json:"speedup_derived"`
+	SpeedupAblated float64 `json:"speedup_ablated"`
+	SpeedupDelta   float64 `json:"speedup_delta"`
+}
+
+// MeasureRecurrence compiles and runs every kernel with the recurrence
+// derivation on and off and reports the verdict flips and speedup deltas —
+// the payload of `irrbench -recurrence-report`.
+func MeasureRecurrence(size kernels.Size, procs int) (*RecurrenceReport, error) {
+	if procs <= 0 {
+		procs = 8
+	}
+	rep := &RecurrenceReport{
+		Schema: "irr-recurrence/1",
+		Size:   sizeName(size),
+		Procs:  procs,
+	}
+	for _, k := range kernels.All(size) {
+		derived, err := pipeline.Compile(k.Source, parallel.Full, pipeline.Reorganized)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		ablated, err := pipeline.CompileOpts(k.Source, parallel.Full, pipeline.Reorganized,
+			pipeline.Options{NoRecurrence: true})
+		if err != nil {
+			return nil, fmt.Errorf("%s (no-recurrence): %w", k.Name, err)
+		}
+		row := RecurrenceKernel{
+			Kernel:           k.Name,
+			TargetLoop:       k.TargetLoop,
+			DerivedMonotonic: derived.PropertyStats.DerivedMonotonic,
+			DerivedInjective: derived.PropertyStats.DerivedInjective,
+			DerivedDistance:  derived.PropertyStats.DerivedDistance,
+			DerivedFailed:    derived.PropertyStats.DerivedFailed,
+		}
+		if r := targetLoopReport(derived.Reports, k.TargetLoop); r != nil {
+			row.ParallelDerived = r.Parallel
+			row.Properties = append(row.Properties, r.Properties...)
+			for arr, tst := range r.Tests {
+				if tst != "" {
+					row.Tests = append(row.Tests, arr+":"+string(tst))
+				}
+			}
+		}
+		if r := targetLoopReport(ablated.Reports, k.TargetLoop); r != nil {
+			row.ParallelAblated = r.Parallel
+		}
+		row.Flipped = row.ParallelDerived && !row.ParallelAblated
+		if row.SpeedupDerived, err = simulatedSpeedup(derived, procs); err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		if row.SpeedupAblated, err = simulatedSpeedup(ablated, procs); err != nil {
+			return nil, fmt.Errorf("%s (no-recurrence): %w", k.Name, err)
+		}
+		row.SpeedupDelta = row.SpeedupDerived - row.SpeedupAblated
+		if row.Flipped {
+			rep.Flipped = append(rep.Flipped, k.Name)
+		}
+		rep.Kernels = append(rep.Kernels, row)
+	}
+	return rep, nil
+}
+
+// targetLoopReport finds the Table-3 target loop's report by the kernel's
+// name substring (each kernel gives its target loop a unique index
+// variable).
+func targetLoopReport(reports []*parallel.LoopReport, target string) *parallel.LoopReport {
+	for _, r := range reports {
+		if strings.Contains(r.Name, target) {
+			return r
+		}
+	}
+	return nil
+}
+
+// simulatedSpeedup runs one compiled program serially and at procs
+// processors on the Origin-2000 profile and returns the cycle ratio.
+func simulatedSpeedup(res *pipeline.Result, procs int) (float64, error) {
+	run := func(p int) (uint64, error) {
+		in := interp.New(res.Info, interp.Options{Machine: machine.New(machine.Origin2000, p)})
+		if err := in.Run(); err != nil {
+			return 0, err
+		}
+		return in.Machine().Time(), nil
+	}
+	seq, err := run(1)
+	if err != nil {
+		return 0, err
+	}
+	par, err := run(procs)
+	if err != nil {
+		return 0, err
+	}
+	return float64(seq) / float64(max(uint64(1), par)), nil
+}
+
+func sizeName(size kernels.Size) string {
+	switch size {
+	case kernels.Small:
+		return "small"
+	case kernels.Large:
+		return "large"
+	default:
+		return "default"
+	}
+}

@@ -55,6 +55,14 @@ type Stats struct {
 	// determinism comparisons (like the expr.intern.* counters).
 	SharedHits   int
 	SharedMisses int
+	// DerivedMonotonic / DerivedInjective / DerivedDistance count verdicts
+	// discharged by the definition-site recurrence derivation (derive.go);
+	// DerivedFailed counts recurrence-shaped fills whose increment signs
+	// resisted proof. Surfaced as the property.derived.* metrics counters.
+	DerivedMonotonic int
+	DerivedInjective int
+	DerivedDistance  int
+	DerivedFailed    int
 	// Elapsed is the wall-clock time spent answering queries.
 	Elapsed time.Duration
 }
@@ -72,6 +80,10 @@ func (s *Stats) Add(o Stats) {
 	s.CacheInvalidations += o.CacheInvalidations
 	s.SharedHits += o.SharedHits
 	s.SharedMisses += o.SharedMisses
+	s.DerivedMonotonic += o.DerivedMonotonic
+	s.DerivedInjective += o.DerivedInjective
+	s.DerivedDistance += o.DerivedDistance
+	s.DerivedFailed += o.DerivedFailed
 	s.Elapsed += o.Elapsed
 }
 
@@ -95,6 +107,10 @@ type Analysis struct {
 	// NoCache disables the VerifyCached memo table: every query
 	// re-propagates (the cold-cache benchmark configuration).
 	NoCache bool
+	// NoRecurrence disables the definition-site recurrence derivation
+	// (derive.go) — the `-no-recurrence` ablation. Analysis-relevant: it
+	// changes verdicts, so it participates in the SharedMemo scope key.
+	NoRecurrence bool
 	// Guard is the cooperative cancellation / step-budget checkpoint,
 	// polled once per propagated node. Nil (the default) is a disabled
 	// guard; when set by a context-aware compilation, a fired deadline or
@@ -116,6 +132,10 @@ type Analysis struct {
 	// memoLive counts the memo entries installed under it.
 	epoch    int
 	memoLive int
+	// deriveDepth guards the nesting of recurrence derivations through
+	// bounds sub-queries (an increment array may itself be filled by a
+	// recurrence); see maxDeriveDepth.
+	deriveDepth int
 }
 
 // New builds an Analysis over a checked program.

@@ -202,6 +202,13 @@ func (p *Bounds) SummarizeAssign(c *Ctx, st *lang.AssignStmt) (*section.Set, *se
 // c > 0 and provably nonnegative x, mod(x, c) lies in [0, c-1]. This idiom
 // is how block-size index arrays are commonly synthesised.
 func modulusBounds(rhs lang.Expr, c *Ctx) (expr.Range, bool) {
+	return modulusBoundsEnv(rhs, c.Env(), c.Assume())
+}
+
+// modulusBoundsEnv is modulusBounds over an explicit environment, so the
+// recurrence derivation can extend the env with the fill loop's own
+// variable (Ctx.Env only covers enclosing loops).
+func modulusBoundsEnv(rhs lang.Expr, env expr.Env, a expr.Assumptions) (expr.Range, bool) {
 	var modRef *lang.ArrayRef
 	replaced := lang.MapExpr(lang.CloneExpr(rhs), func(e lang.Expr) lang.Expr {
 		ar, ok := e.(*lang.ArrayRef)
@@ -219,12 +226,12 @@ func modulusBounds(rhs lang.Expr, c *Ctx) (expr.Range, bool) {
 	if !ok || cv <= 0 {
 		return expr.Range{}, false
 	}
-	argR, ok := expr.Bounds(expr.FromAST(modRef.Args[0]), c.Env(), c.Assume())
-	if !ok || argR.Lo == nil || !expr.ProveGE0(argR.Lo, c.Assume()) {
+	argR, ok := expr.Bounds(expr.FromAST(modRef.Args[0]), env, a)
+	if !ok || argR.Lo == nil || !expr.ProveGE0(argR.Lo, a) {
 		return expr.Range{}, false
 	}
-	env := c.Env().With("#mod", expr.NewRange(expr.Zero, expr.Const(cv-1)))
-	return expr.Bounds(expr.FromAST(replaced), env, c.Assume())
+	menv := env.With("#mod", expr.NewRange(expr.Zero, expr.Const(cv-1)))
+	return expr.Bounds(expr.FromAST(replaced), menv, a)
 }
 
 func (p *Bounds) killElem(sub *expr.Expr, c *Ctx) *section.Set {
@@ -300,6 +307,14 @@ func (p *Injective) SummarizeLoop(c *Ctx, n *cfg.HNode) (*section.Set, *section.
 		c.s.a.Stats.PatternHits++
 		return section.NewSet(), section.NewSet(section.New(p.array, af.lo, af.hi)), true
 	}
+	// Definition-site derivation: a recurrence fill with strictly positive
+	// increments is strictly monotonic, hence injective (injectivity as a
+	// corollary of strict monotonicity).
+	if dr := c.deriveForLoop(n, p.array); dr != nil && dr.Strict() {
+		c.s.a.Stats.DerivedInjective++
+		gen := section.NewSet(section.New(p.array, dr.ElemLo, dr.ElemHi))
+		return section.NewSet(), gen, true
+	}
 	return nil, nil, false
 }
 
@@ -346,6 +361,15 @@ func (p *Monotonic) SummarizeLoop(c *Ctx, n *cfg.HNode) (*section.Set, *section.
 		c.s.a.Stats.PatternHits++
 		p.Strict = af.coef >= 1
 		return section.NewSet(), section.NewSet(section.New(p.array, af.lo, af.hi)), true
+	}
+	// Definition-site derivation (Bhosale & Eigenmann): a prefix-sum fill
+	// x(i+1) = x(i) + d with every increment provably nonnegative is
+	// monotonic by construction, strictly when every increment is positive.
+	if dr := c.deriveForLoop(n, p.array); dr != nil && dr.Monotonic() {
+		c.s.a.Stats.DerivedMonotonic++
+		p.Strict = dr.Strict()
+		gen := section.NewSet(section.New(p.array, dr.ElemLo, dr.ElemHi))
+		return section.NewSet(), gen, true
 	}
 	return nil, nil, false
 }
@@ -588,6 +612,9 @@ func (p *ClosedFormDistance) SummarizeLoop(c *Ctx, n *cfg.HNode) (*section.Set, 
 	p.vars = union(p.vars, removeFormal(dv))
 	p.arrays = union(p.arrays, da)
 	c.s.a.Stats.PatternHits++
+	if !c.s.a.NoRecurrence {
+		c.s.a.Stats.DerivedDistance++
+	}
 
 	a := c.Assume()
 	pairLo := lo.Add(m.pairLoOff)

@@ -63,6 +63,16 @@ func genLoLEQ(x, y *expr.Expr) bool {
 func matchRecurrence(in *expr.Interner, d *lang.DoStmt, array string) *recurrenceMatch {
 	v := d.Var.Name
 
+	// A recurrence chains values forward: each write reads (or accumulates
+	// into) state the PREVIOUS iteration established. Downward or strided
+	// iteration breaks the chain — x(i-1) is overwritten after x(i) read
+	// it — so only unit forward steps match.
+	if d.Step != nil {
+		if cst, ok := in.FromAST(d.Step).IsConst(); !ok || cst != 1 {
+			return nil
+		}
+	}
+
 	// Collect top-level assignments of the body; nested control flow
 	// around the recurrence disqualifies the pattern (a conditional
 	// recurrence has no closed form).

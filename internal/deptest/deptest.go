@@ -33,6 +33,10 @@ const (
 	TestOffsetLength TestKind = "offset-length" // closed-form distance rewrite (CFD)
 	TestInjective    TestKind = "injective"     // injectivity of the index array
 	TestCFV          TestKind = "closed-form"   // closed-form value substitution (CFV)
+	// TestRecurrence is the recurrence-window test: inner-loop windows
+	// bounded by an offset array (CSR row pointers) are proven separated
+	// with monotonicity facts derived from the loop that fills the array.
+	TestRecurrence TestKind = "recurrence-window"
 )
 
 // Verdict is the per-array outcome of analyzing one loop.
@@ -304,6 +308,8 @@ func rank(k TestKind) int {
 		return 4
 	case TestOffsetLength:
 		return 5
+	case TestRecurrence:
+		return 6
 	}
 	return 0
 }
@@ -389,6 +395,18 @@ func (a *Analyzer) pairIndependent(u *lang.Unit, loop *lang.DoStmt, arr string, 
 		if clean {
 			if ok, ps := a.offsetLengthIndependent(fa, fb, v, loop, A, B, assume); ok {
 				return true, TestOffsetLength, ps
+			}
+		}
+
+		// Recurrence-window test: atom-free subscripts whose inner-loop
+		// windows run through an offset array (CSR row pointers). The
+		// separation conditions are discharged with monotonicity facts
+		// derived at the array's definition site, so the whole test —
+		// including its closed-form-distance fallback — is gated by the
+		// same `-no-recurrence` ablation as the derivation itself.
+		if clean && !a.Prop.NoRecurrence {
+			if ok, ps := a.recurrenceWindowIndependent(fa, fb, v, loop, A, B, assume); ok {
+				return true, TestRecurrence, ps
 			}
 		}
 	}

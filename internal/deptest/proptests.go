@@ -427,6 +427,177 @@ func (a *Analyzer) offsetLengthIndependent(fa, fb *expr.Expr, v string, loop *la
 	return false, nil
 }
 
+// recurrenceWindowIndependent handles the compressed-format idiom where the
+// subscripts themselves are plain inner-loop variables and every irregular
+// access happens through the inner loop's BOUNDS:
+//
+//	do i = 1, n
+//	  do j = row(i), row(i+1)-1
+//	    a(j) = ...
+//
+// The per-iteration windows are [row(i), row(i+1)-1]; they never overlap
+// across iterations when row is monotonically non-decreasing — exactly the
+// fact the definition-site recurrence derivation proves from the loop that
+// fills row (a prefix sum). Differences of monotone-array atoms in the
+// separation conditions are then discharged by telescoping (monoNorm).
+// Offset arrays without a monotonicity proof fall back to the closed-form-
+// distance rewrite of the offset–length test.
+func (a *Analyzer) recurrenceWindowIndependent(fa, fb *expr.Expr, v string, loop *lang.DoStmt, A, B ref, assume expr.Assumptions) (bool, []string) {
+	// Subscripts containing index-array atoms directly are the offset–
+	// length test's territory; this test wants the atoms in the windows.
+	if len(arrayAtomNames(fa)) != 0 || len(arrayAtomNames(fb)) != 0 {
+		return false, nil
+	}
+	lo, hi, okR := loopRange(a.In, loop)
+	if !okR {
+		return false, nil
+	}
+	outerEnv := expr.Env{v: expr.NewRange(lo, hi)}
+
+	ra, ok1 := expr.Bounds(fa, A.env, assume)
+	rb, ok2 := expr.Bounds(fb, B.env, assume)
+	if !ok1 || !ok2 || ra.Lo == nil || ra.Hi == nil || rb.Lo == nil || rb.Hi == nil {
+		return false, nil
+	}
+	offs := union2(union2(arrayAtomNames(ra.Lo), arrayAtomNames(ra.Hi)),
+		union2(arrayAtomNames(rb.Lo), arrayAtomNames(rb.Hi)))
+	if len(offs) == 0 {
+		return false, nil // affine windows: the plain range test's territory
+	}
+
+	// The atom hull must cover every subscript the separation conditions
+	// apply to the offset arrays: the window bounds and the +1-shifted
+	// LOWER bounds (only separatedIncreasing below shifts, and only the
+	// lower ends; including shifted upper bounds would widen the hull past
+	// what a fill loop generates).
+	exprs := []*expr.Expr{ra.Lo, ra.Hi, rb.Lo, rb.Hi, at(ra.Lo, v, 1), at(rb.Lo, v, 1)}
+	envs := []expr.Env{A.env, A.env, B.env, B.env, A.env, B.env}
+
+	var props []string
+	norm := func(e *expr.Expr) *expr.Expr { return e }
+	for _, off := range offs {
+		hull := a.atomArgHull(off, exprs, envs, outerEnv)
+		if hull == nil {
+			return false, nil
+		}
+		offName := off
+		mc, okM := a.verifyCached(hull, A.stmt,
+			func() property.Property { return property.NewMonotonic(offName) })
+		if mono, _ := mc.(*property.Monotonic); okM && mono != nil {
+			props = append(props, mono.String())
+			strict := mono.Strict
+			prev := norm
+			norm = func(e *expr.Expr) *expr.Expr {
+				return monoNorm(a.In, prev(e), offName, strict)
+			}
+			continue
+		}
+		// Monotonicity unproven: fall back to the closed-form-distance
+		// rewrite for this offset array (the offset–length machinery),
+		// requiring a provably nonnegative distance.
+		pc, okD := a.verifyCached(hull, A.stmt,
+			func() property.Property { return property.NewClosedFormDistance(offName) })
+		prop, _ := pc.(*property.ClosedFormDistance)
+		if !okD || prop == nil || prop.Dist == nil {
+			return false, nil
+		}
+		if c, isConst := prop.Dist.IsConst(); isConst {
+			if c < 0 {
+				return false, nil
+			}
+		} else {
+			for _, da := range arrayAtomNames(prop.Dist) {
+				bsec := hull.Clone()
+				bsec.Array = da
+				daName := da
+				bpc, okb := a.verifyCached(bsec, A.stmt,
+					func() property.Property { return property.NewBounds(daName) })
+				bp, _ := bpc.(*property.Bounds)
+				if !okb || bp == nil || bp.Lo == nil || !expr.ProveGE0(bp.Lo, assume) {
+					return false, nil
+				}
+				assume = assume.With(da+"(*)", expr.GE0)
+				props = append(props, bp.String())
+			}
+		}
+		props = append(props, prop.String())
+		prev := norm
+		p := prop
+		norm = func(e *expr.Expr) *expr.Expr {
+			return cfdRewrite(a.In, prev(e), offName, p)
+		}
+	}
+
+	// Only the increasing direction: the hull above shifts lower bounds by
+	// +1, which is what these three conditions need (the decreasing
+	// direction would shift upper bounds, widening the hull).
+	if separatedIncreasing(ra, rb, v, assume, norm) {
+		return true, dedup(props)
+	}
+	return false, nil
+}
+
+// monoNorm lower-bounds differences of monotone-array atoms by telescoping:
+// a term pair +c*off(s1) - c*off(s2) with s1 - s2 = k >= 1 is bounded below
+// by c*k when off is strictly increasing (each of the k steps is at least
+// 1) and by 0 when merely non-decreasing, so the pair is replaced by that
+// bound. Sound only inside ProveGE0/ProveGT0 goals, where substituting a
+// provable lower bound for a subexpression preserves the implication; both
+// separation predicates use norm exclusively that way.
+func monoNorm(in *expr.Interner, e *expr.Expr, off string, strict bool) *expr.Expr {
+	for iter := 0; iter < 8; iter++ {
+		atoms := e.ArrayAtoms(off)
+		if len(atoms) < 2 {
+			return e
+		}
+		keys := make([]string, 0, len(atoms))
+		for k := range atoms {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		changed := false
+		for _, ks := range keys {
+			cs := e.CoefOf(ks)
+			if cs <= 0 {
+				continue
+			}
+			for _, kt := range keys {
+				if ks == kt {
+					continue
+				}
+				ct := e.CoefOf(kt)
+				if ct >= 0 {
+					continue
+				}
+				dk, ok := atoms[ks].DiffConst(atoms[kt])
+				if !ok || dk < 1 {
+					continue
+				}
+				c := cs
+				if -ct < c {
+					c = -ct
+				}
+				lb := int64(0)
+				if strict {
+					lb = dk
+				}
+				e = e.Sub(atomFor(in, off, atoms[ks]).MulConst(c)).
+					Add(atomFor(in, off, atoms[kt]).MulConst(c)).
+					AddConst(c * lb)
+				changed = true
+				break
+			}
+			if changed {
+				break
+			}
+		}
+		if !changed {
+			return e
+		}
+	}
+	return e
+}
+
 // cfdRewrite eliminates shifted offset-array atoms using the derived
 // closed-form distance: off(s) with another atom off(t), s = t+1, becomes
 // off(t) + Dist(t). The rewrite iterates to resolve chains off(t+2) →

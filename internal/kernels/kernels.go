@@ -64,7 +64,10 @@ const (
 	Large
 )
 
-// All returns the five kernels at the given size.
+// All returns the bundled kernels at the given size: the five programs of
+// the paper's evaluation plus the three recurrence kernels (see
+// recurrence.go), whose index arrays are provable only by the
+// definition-site recurrence derivation.
 func All(size Size) []*Kernel {
 	return []*Kernel{
 		TRFD(size),
@@ -72,6 +75,9 @@ func All(size Size) []*Kernel {
 		BDNA(size),
 		P3M(size),
 		TREE(size),
+		CSR(size),
+		PFGATHER(size),
+		TSTEP(size),
 	}
 }
 

@@ -71,6 +71,35 @@ func TestTargetLoopsParallelOnlyWithIAA(t *testing.T) {
 	}
 }
 
+// TestRecurrenceKernelsNeedDerivation pins down the ablation story: the
+// three recurrence kernels parallelize with the definition-site derivation
+// and go serial under -no-recurrence, while the five paper kernels are
+// untouched by the flag (their index arrays have closed forms or
+// offset/length patterns that never needed the derivation).
+func TestRecurrenceKernelsNeedDerivation(t *testing.T) {
+	recur := map[string]bool{"csr": true, "pfgather": true, "tstep": true}
+	for _, k := range All(Small) {
+		t.Run(k.Name, func(t *testing.T) {
+			res, err := pipeline.CompileOpts(k.Source, parallel.Full, pipeline.Reorganized,
+				pipeline.Options{NoRecurrence: true})
+			if err != nil {
+				t.Fatalf("compile -no-recurrence: %v", err)
+			}
+			r := targetReport(res, k)
+			if r == nil {
+				t.Fatalf("target loop %q not found; loops: %v", k.TargetLoop, names(res))
+			}
+			if recur[k.Name] {
+				if r.Parallel {
+					t.Fatalf("%s target loop must stay serial without recurrence derivation", k.Name)
+				}
+			} else if !r.Parallel {
+				t.Fatalf("%s must not depend on recurrence derivation: %v", k.Name, r.Blockers)
+			}
+		})
+	}
+}
+
 func names(res *pipeline.Result) []string {
 	var out []string
 	for _, r := range res.Reports {
@@ -99,6 +128,15 @@ func TestExpectedTechniques(t *testing.T) {
 		},
 		"tree": func(r *parallel.LoopReport) bool {
 			return r.PrivReasons["stak"] == "stack"
+		},
+		"csr": func(r *parallel.LoopReport) bool {
+			return r.Tests["a"] == "recurrence-window"
+		},
+		"pfgather": func(r *parallel.LoopReport) bool {
+			return r.Tests["y"] == "injective"
+		},
+		"tstep": func(r *parallel.LoopReport) bool {
+			return r.Tests["a"] == "recurrence-window"
 		},
 	}
 	for _, k := range All(Small) {

@@ -1,0 +1,229 @@
+// The three recurrence kernels exercise the subscripted-subscript
+// extension (Bhosale & Eigenmann style): their index arrays carry no
+// closed form — they are *filled by loops*, and the only way to prove the
+// consumer loops parallel is to derive monotonicity/injectivity from the
+// filling recurrence itself. Under -no-recurrence every target loop here
+// stays serial, which is exactly the ablation the benchmark report
+// measures.
+//
+//	CSR      — compiler-built row pointers: row(i+1) = row(i) + len(i)
+//	           with len(i) = 1 + mod(i, 3); the SpMV sweep scales the
+//	           stored values in place through the row window, so only the
+//	           derived strict monotonicity of row separates iterations.
+//	PFGATHER — prefix-sum gather: x(w+1) = x(w) + 1 + mod(w, 4); the
+//	           consumer scatters y(x(kg)) += e, provable only via the
+//	           injectivity corollary of strict monotonicity.
+//	TSTEP    — timestep-refilled offsets: every outer step rewrites
+//	           cnt/off before the windowed update sweep, so the property
+//	           must be re-derived (killed and re-proved) per timestep; the
+//	           outer t loop itself stays serial by design.
+package kernels
+
+import "fmt"
+
+// CSR builds the sparse matrix–vector kernel whose row-pointer array is
+// constructed by the program itself as a prefix sum over loop-computed row
+// lengths. setup ends in RETURN, so the monotonicity derivation for row
+// must cross the unit boundary (the fill lives in another routine than the
+// consumer). No closed-form value exists for row: without the recurrence
+// derivation the spmv sweep is unprovable.
+func CSR(size Size) *Kernel {
+	n := pick(size, 8, 200, 400)
+	nnz := 3*n + 1
+	reps := pick(size, 2, 8, 12)
+	src := fmt.Sprintf(`
+program csr
+  param n = %d
+  param nnzmax = %d
+  param reps = %d
+  integer row(n + 1), len(n)
+  real a(nnzmax), y(n), dscale(n)
+  integer i, r, ic
+  real checksum
+
+  call setup
+  do r = 1, reps
+    call spmv
+  end do
+
+  checksum = 0.0
+  do i = 1, n
+    checksum = checksum + y(i)
+  end do
+  do i = 1, nnzmax
+    checksum = checksum + a(i) * 0.001
+  end do
+  print "csr checksum", checksum
+end
+
+subroutine setup
+  integer i
+  ! Row lengths 1..3, then the row pointers as their prefix sum — the
+  ! canonical compressed-format construction. row has no closed form;
+  ! its strict monotonicity follows only from len(i) >= 1.
+  do i = 1, n
+    len(i) = 1 + mod(i, 3)
+  end do
+  row(1) = 1
+  do i = 1, n
+    row(i + 1) = row(i) + len(i)
+  end do
+  do i = 1, nnzmax
+    a(i) = real(mod(i * 7, 13)) * 0.25 + 1.0
+  end do
+  do i = 1, n
+    dscale(i) = 1.0 + real(mod(i, 3)) * 0.125
+  end do
+  return
+end
+
+subroutine spmv
+  integer j
+  real yv
+  ! Row-wise sweep writing the stored values in place through the row
+  ! window: iterations touch a(row(ic)) .. a(row(ic+1)-1), disjoint only
+  ! because row is strictly increasing.
+  do ic = 1, n
+    yv = 0.0
+    do j = row(ic), row(ic + 1) - 1
+      a(j) = a(j) * dscale(ic)
+      yv = yv + a(j)
+    end do
+    y(ic) = yv * 0.0625 + real(r)
+  end do
+  return
+end
+`, n, nnz, reps)
+	return &Kernel{
+		Name:       "csr",
+		Source:     trim(src),
+		TargetLoop: "do_ic",
+		Technique:  "REC+DD",
+		CheckVars:  []string{"checksum"},
+	}
+}
+
+// PFGATHER builds the prefix-sum gather kernel: the index array is a
+// strictly increasing prefix sum with a modular stride, and the consumer
+// scatters through it. The dependence is disproved by injectivity, which
+// the analysis obtains as a corollary of the derived strict monotonicity —
+// there is no pattern or closed form to fall back on.
+func PFGATHER(size Size) *Kernel {
+	n := pick(size, 8, 240, 480)
+	ysz := 4*n + 1
+	flops := pick(size, 4, 12, 16)
+	src := fmt.Sprintf(`
+program pfgather
+  param n = %d
+  param ysz = %d
+  param flops = %d
+  integer x(n + 1)
+  real y(ysz), g(n)
+  integer i, w, kg, q
+  real e, checksum
+
+  ! Strictly increasing positions with gaps 1..4: x(w+1) = x(w) + d(w),
+  ! d(w) = 1 + mod(w, 4) > 0. Injective, but only provably so from the
+  ! recurrence that fills it.
+  x(1) = 1
+  do w = 1, n
+    x(w + 1) = x(w) + 1 + mod(w, 4)
+  end do
+  do i = 1, ysz
+    y(i) = real(mod(i * 3, 11)) * 0.5
+  end do
+  do i = 1, n
+    g(i) = real(mod(i * 5, 7)) + 1.0
+  end do
+
+  ! Scatter through the prefix sum: distinct kg hit distinct y elements.
+  do kg = 1, n
+    e = 0.0
+    do q = 1, flops
+      e = e + g(kg) * 0.0625
+    end do
+    y(x(kg)) = y(x(kg)) + e
+  end do
+
+  checksum = 0.0
+  do i = 1, ysz
+    checksum = checksum + y(i)
+  end do
+  print "pfgather checksum", checksum
+end
+`, n, ysz, flops)
+	return &Kernel{
+		Name:       "pfgather",
+		Source:     trim(src),
+		TargetLoop: "do_kg",
+		Technique:  "REC+INJ",
+		CheckVars:  []string{"checksum"},
+	}
+}
+
+// TSTEP builds the timestep-refill kernel: an outer time loop rewrites the
+// counts and their prefix-sum offsets every step, then sweeps the windowed
+// update. The offset array's monotonicity is killed by each refill and must
+// be re-derived inside the timestep body; the inner sweep parallelizes per
+// step while the t loop itself remains serial.
+func TSTEP(size Size) *Kernel {
+	n := pick(size, 8, 160, 320)
+	asz := 3*n + 1
+	reps := pick(size, 2, 8, 12)
+	flops := pick(size, 4, 12, 16)
+	src := fmt.Sprintf(`
+program tstep
+  param n = %d
+  param asz = %d
+  param reps = %d
+  param flops = %d
+  integer cnt(n), off(n + 1)
+  real a(asz), g(n)
+  integer i, t, w, iv, q
+  real av, checksum
+
+  do i = 1, asz
+    a(i) = real(mod(i * 3, 5)) * 0.5
+  end do
+  do i = 1, n
+    g(i) = real(mod(i * 11, 9)) * 0.25 + 1.0
+  end do
+
+  do t = 1, reps
+    ! Refill the counts (they depend on t) and rebuild the offsets: the
+    ! previous step's monotonicity fact is dead, the derivation reruns
+    ! against this step's fill.
+    do w = 1, n
+      cnt(w) = 1 + mod(w + t, 3)
+    end do
+    off(1) = 1
+    do w = 1, n
+      off(w + 1) = off(w) + cnt(w)
+    end do
+    ! Windowed update sweep: parallel within the step, serial across t.
+    do iv = 1, n
+      av = 0.0
+      do q = 1, flops
+        av = av + g(iv) * 0.0625
+      end do
+      do i = off(iv), off(iv + 1) - 1
+        a(i) = a(i) + av * real(t)
+      end do
+    end do
+  end do
+
+  checksum = 0.0
+  do i = 1, asz
+    checksum = checksum + a(i)
+  end do
+  print "tstep checksum", checksum
+end
+`, n, asz, reps, flops)
+	return &Kernel{
+		Name:       "tstep",
+		Source:     trim(src),
+		TargetLoop: "do_iv",
+		Technique:  "REC+DD",
+		CheckVars:  []string{"checksum"},
+	}
+}

@@ -128,12 +128,16 @@ func Audit(info *sem.Info, prop *property.Analysis, reports []*parallel.LoopRepo
 		}
 	}
 
-	// Path 2: serial replay with footprint collection.
+	// Path 2: serial replay with footprint collection. The finished
+	// interpreter is kept: the recurrence audit reads index-array values
+	// back out of it.
 	var replayErr error
+	var final *interp.Interp
 	if len(frames) > 0 {
 		opts.Guard.Check()
-		replayErr = replay(info, frames, opts)
+		final, replayErr = replay(info, frames, opts)
 		if replayErr != nil {
+			final = nil // partial state: the value oracle must not trust it
 			if errors.Is(replayErr, comperr.ErrCanceled) {
 				return nil, replayErr
 			}
@@ -168,6 +172,14 @@ func Audit(info *sem.Info, prop *property.Analysis, reports []*parallel.LoopRepo
 		}
 	}
 
+	// Recurrence-derived verdicts: re-check every monotonic/injective fact
+	// a parallel verdict cites against the loop that fills the array, via
+	// the static increment oracle and the replayed values (recaudit.go).
+	opts.Guard.Check()
+	recDiags, recAudited := auditRecurrence(info, prop, reports, final, opts)
+	mismatched += len(recDiags)
+	diags = append(diags, recDiags...)
+
 	// IRR2003: replayed injectivity queries for blocked loops, with the
 	// propagation trace and any replay witness attached.
 	opts.Guard.Check()
@@ -192,6 +204,7 @@ func Audit(info *sem.Info, prop *property.Analysis, reports []*parallel.LoopRepo
 		opts.Rec.Count("lint.audit.confirmed", int64(confirmed))
 		opts.Rec.Count("lint.audit.mismatch", int64(mismatched))
 		opts.Rec.Count("lint.audit.skipped", int64(skipped))
+		opts.Rec.Count("lint.audit.recurrence", int64(recAudited))
 	}
 	Sort(diags)
 	return diags, nil
@@ -413,7 +426,7 @@ func elemString(sym *sem.Symbol, elem int64) string {
 // ---------------------------------------------------------------------------
 // Replay driver
 
-func replay(info *sem.Info, frames map[*lang.DoStmt]*auditFrame, opts AuditOptions) error {
+func replay(info *sem.Info, frames map[*lang.DoStmt]*auditFrame, opts AuditOptions) (*interp.Interp, error) {
 	loops := map[*lang.DoStmt]bool{}
 	for s := range frames {
 		loops[s] = true
@@ -451,7 +464,7 @@ func replay(info *sem.Info, frames map[*lang.DoStmt]*auditFrame, opts AuditOptio
 		Ctx:      opts.Ctx,
 		Observe:  ob,
 	})
-	return in.Run()
+	return in, in.Run()
 }
 
 // ---------------------------------------------------------------------------

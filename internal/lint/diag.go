@@ -138,6 +138,7 @@ var Codes = map[string]CodeInfo{
 	CodeZeroStep:        {Title: "zero DO step", Severity: Error},
 	CodeZeroTrip:        {Title: "contradictory DO bounds", Severity: Warning},
 	CodeNonInjective:    {Title: "non-injective index array", Severity: Warning},
+	CodeNonMonotonic:    {Title: "non-monotonic offset array", Severity: Warning},
 	CodeOutOfBounds:     {Title: "provable out-of-bounds subscript", Severity: Error},
 	CodeAuditParallel:   {Title: "audit-mismatch: parallel verdict", Severity: Error},
 	CodeAuditPrivate:    {Title: "audit-mismatch: privatization verdict", Severity: Error},
@@ -162,6 +163,12 @@ const (
 	// the failing query's propagation trace and, when the auditor's
 	// replay observed one, a concrete counterexample witness.
 	CodeNonInjective = "IRR2003"
+	// CodeNonMonotonic: an array used as a subscript is filled by a
+	// recurrence the definition-site derivation recognizes, but its
+	// monotonicity resisted proof (some increment has unknown sign) — the
+	// consumers of the array cannot be parallelized. The diagnostic carries
+	// the derivation's failing fixpoint steps.
+	CodeNonMonotonic = "IRR2004"
 	// CodeOutOfBounds: a subscript whose symbolic range lies provably and
 	// entirely outside the declared array bounds.
 	CodeOutOfBounds = "IRR3002"

@@ -26,6 +26,7 @@ func Source(info *sem.Info, mod *dataflow.ModInfo, prop *property.Analysis, guar
 		diags = append(diags, lintUnit(info, mod, u, guard)...)
 	}
 	diags = append(diags, lintBounds(info, prop)...)
+	diags = append(diags, lintNonMonotonicFill(info, prop, guard)...)
 	Sort(diags)
 	return diags
 }

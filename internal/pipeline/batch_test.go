@@ -70,8 +70,11 @@ func TestBatchCacheCounters(t *testing.T) {
 	if cs.CacheHits != 0 || cs.CacheMisses != 0 {
 		t.Errorf("NoPropertyCache still counted hits=%d misses=%d", cs.CacheHits, cs.CacheMisses)
 	}
-	if ws.Queries+ws.CacheHits != cs.Queries {
-		t.Errorf("cache must only elide repeat queries: warm %d queries + %d hits != cold %d queries",
+	// A hit elides the repeat query AND any nested sub-queries its
+	// recurrence derivation would have spawned, so the cold run can only
+	// issue at least as many queries as warm queries + hits.
+	if ws.Queries+ws.CacheHits > cs.Queries {
+		t.Errorf("cache hits exceed the queries they could elide: warm %d queries + %d hits > cold %d queries",
 			ws.Queries, ws.CacheHits, cs.Queries)
 	}
 	// Verdicts are unaffected by the cache.

@@ -45,6 +45,7 @@ func runLint(ctx context.Context, guard *comperr.Guard, rec *obs.Recorder, opts 
 			return nil, err
 		}
 		fprop = property.New(finfo, fhp, fmod)
+		fprop.NoRecurrence = opts.NoRecurrence
 		fprop.Guard = guard
 	}
 	diags := lint.Source(finfo, fmod, fprop, guard)

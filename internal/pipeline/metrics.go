@@ -93,6 +93,10 @@ func (r *Result) Metrics() *Metrics {
 	m.Counters["property.cache_invalidations"] = int64(st.CacheInvalidations)
 	m.Counters["property.shared_hits"] = int64(st.SharedHits)
 	m.Counters["property.shared_misses"] = int64(st.SharedMisses)
+	m.Counters["property.derived.monotonic"] = int64(st.DerivedMonotonic)
+	m.Counters["property.derived.injective"] = int64(st.DerivedInjective)
+	m.Counters["property.derived.distance"] = int64(st.DerivedDistance)
+	m.Counters["property.derived.failed"] = int64(st.DerivedFailed)
 	for k, v := range r.Recorder.Counters() {
 		m.Counters[k] = v
 	}

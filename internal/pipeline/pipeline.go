@@ -143,6 +143,12 @@ type Options struct {
 	// interning changes performance, never output: results are byte-identical
 	// either way).
 	NoExprIntern bool
+	// NoRecurrence disables the definition-site recurrence derivation and
+	// the recurrence-window dependence test (`-no-recurrence`) — the
+	// ablation showing which loops only parallelize because index-array
+	// properties were proven from the loops that fill them. Analysis-
+	// relevant: it changes verdicts, so it scopes the shared caches.
+	NoRecurrence bool
 	// Limits bounds the resources one compilation may consume; the zero
 	// value is unlimited. Violations surface as comperr.ErrResourceLimit.
 	Limits Limits
@@ -316,6 +322,7 @@ func compile(ctx context.Context, guard *comperr.Guard, src string, mode paralle
 			prop = property.New(info, ichp, mod)
 			prop.Rec = rec
 			prop.NoCache = opts.NoPropertyCache
+			prop.NoRecurrence = opts.NoRecurrence
 			prop.Guard = guard
 		}
 		dep := deptest.New(info, mod, prop)
@@ -369,6 +376,7 @@ func compile(ctx context.Context, guard *comperr.Guard, src string, mode paralle
 	pz.SetGuard(guard)
 	if pz.Property() != nil {
 		pz.Property().NoCache = opts.NoPropertyCache
+		pz.Property().NoRecurrence = opts.NoRecurrence
 		if org == Original {
 			pz.Property().Intraprocedural = true
 		}
@@ -425,6 +433,10 @@ func compile(ctx context.Context, guard *comperr.Guard, src string, mode paralle
 		// expr.intern.* below.
 		rec.Count("property.shared_hits", int64(st.SharedHits))
 		rec.Count("property.shared_misses", int64(st.SharedMisses))
+		rec.Count("property.derived.monotonic", int64(st.DerivedMonotonic))
+		rec.Count("property.derived.injective", int64(st.DerivedInjective))
+		rec.Count("property.derived.distance", int64(st.DerivedDistance))
+		rec.Count("property.derived.failed", int64(st.DerivedFailed))
 		// The expr.intern.* counters differ between the intern-on and
 		// intern-off configurations by construction; equivalence checks
 		// must exclude them (everything else is identical).

@@ -60,8 +60,9 @@ func (c *SharedAnalysisCache) Stats() SharedCacheStats {
 func programKey(src string, mode parallel.Mode, org Organization, opts Options) string {
 	h := sha256.New()
 	io.WriteString(h, src)
-	fmt.Fprintf(h, "\x00%d\x00%d\x00%t\x00%t\x00%t\x00%d\x00%d",
+	fmt.Fprintf(h, "\x00%d\x00%d\x00%t\x00%t\x00%t\x00%t\x00%d\x00%d",
 		mode, org, opts.Interchange, opts.NoExprIntern, opts.NoPropertyCache,
+		opts.NoRecurrence,
 		opts.Limits.MaxQuerySteps, opts.Limits.MaxSourceBytes)
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }

@@ -20,11 +20,16 @@ const (
 	// DefectNonInjective seeds a gather through a provably non-injective
 	// index array (expect IRR2003 on the use loop).
 	DefectNonInjective DefectClass = "non-injective-gather"
+	// DefectNonMonotonic seeds an offset array filled by a decrementing
+	// recurrence and consumed as a subscript: the definition-site
+	// derivation matches the fill but cannot prove monotonicity (expect
+	// IRR2004 on the fill loop).
+	DefectNonMonotonic DefectClass = "non-monotonic-fill"
 )
 
 // Classes lists every defect class, for table-driven tests.
 func Classes() []DefectClass {
-	return []DefectClass{DefectUseBeforeDef, DefectOOB, DefectNonInjective}
+	return []DefectClass{DefectUseBeforeDef, DefectOOB, DefectNonInjective, DefectNonMonotonic}
 }
 
 // SeededDefect is the ground truth of one injected defect.
@@ -68,6 +73,18 @@ func GenerateDefective(r *rand.Rand, cfg Config, class DefectClass) (string, See
 		marker = "a2(nj9(w)) ="
 		headerOffset = 1 // the diagnostic anchors to the DO header above
 		code = "IRR2003"
+	case DefectNonMonotonic:
+		decl = "  integer mp9(nn)\n"
+		block = "  mp9(1) = nn\n" +
+			"  do w = 1, nn - 1\n" +
+			"    mp9(w + 1) = mp9(w) - 1\n" +
+			"  end do\n" +
+			"  do w = 1, nn\n" +
+			"    a1(mp9(w)) = a1(mp9(w)) + 0.5\n" +
+			"  end do\n"
+		marker = "mp9(w + 1) = mp9(w) - 1"
+		headerOffset = 1 // the diagnostic anchors to the fill's DO header
+		code = "IRR2004"
 	default:
 		panic(fmt.Sprintf("progen: unknown defect class %q", class))
 	}

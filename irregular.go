@@ -121,6 +121,11 @@ type Options struct {
 	// NoExprIntern disables symbolic-expression hash-consing (output is
 	// byte-identical either way; used to measure the interner).
 	NoExprIntern bool
+	// NoRecurrence disables definition-site recurrence derivation (the
+	// `-no-recurrence` ablation): index-array properties are no longer
+	// proven from the loops that fill the arrays, so loops that depend on
+	// derived monotonicity/injectivity stay serial.
+	NoRecurrence bool
 	// Shared, when non-nil, attaches a cross-compilation analysis cache
 	// (see NewSharedCache): expressions interned and property verdicts
 	// proved by one compilation replay for every other compilation of
@@ -169,6 +174,7 @@ func (o Options) pipelineConfig() (pipeline.Options, pipeline.Organization) {
 		Jobs:            o.Jobs,
 		NoPropertyCache: o.NoPropertyCache,
 		NoExprIntern:    o.NoExprIntern,
+		NoRecurrence:    o.NoRecurrence,
 		Shared:          o.Shared,
 		NoSharedCache:   o.NoSharedCache,
 		Limits:          o.Limits,

@@ -92,7 +92,7 @@ func TestModesDiffer(t *testing.T) {
 
 func TestKernelsListed(t *testing.T) {
 	ks := Kernels()
-	if len(ks) != 5 {
+	if len(ks) != 8 {
 		t.Fatalf("kernels: %v", ks)
 	}
 	for _, name := range ks {
